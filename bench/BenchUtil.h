@@ -1,0 +1,149 @@
+//===- BenchUtil.h - Shared workload builders for the benchmarks -*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_BENCH_BENCHUTIL_H
+#define CLOSER_BENCH_BENCHUTIL_H
+
+#include "closing/Pipeline.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace closer {
+
+/// Compiles or aborts (benchmarks must not measure broken inputs).
+inline std::unique_ptr<Module> benchCompile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto Mod = compileAndVerify(Source, Diags);
+  if (!Mod) {
+    std::fprintf(stderr, "bench workload failed to compile:\n%s\n",
+                 Diags.str().c_str());
+    std::abort();
+  }
+  return Mod;
+}
+
+/// The open "filter" program of experiment E3: reads K environment inputs
+/// and routes each to the even or odd channel.
+inline std::string filterProgram(int K) {
+  std::string S;
+  S += "chan evens[" + std::to_string(K + 1) + "];\n";
+  S += "chan odds[" + std::to_string(K + 1) + "];\n";
+  S += "proc filter() {\n";
+  S += "  var i;\n";
+  S += "  var x;\n";
+  S += "  for (i = 0; i < " + std::to_string(K) + "; i = i + 1) {\n";
+  S += "    x = env_input();\n";
+  S += "    if (x % 2 == 0)\n";
+  S += "      send(evens, i);\n";
+  S += "    else\n";
+  S += "      send(odds, i);\n";
+  S += "  }\n";
+  S += "}\n";
+  S += "process m = filter();\n";
+  return S;
+}
+
+/// A synthetic open program with ~N statements for the linear-time
+/// experiment E4. Mixes untainted arithmetic, environment inputs, tainted
+/// and untainted conditionals, and visible operations, so the closing
+/// algorithm exercises every step.
+inline std::string scalingProgram(size_t N, uint64_t Seed = 7) {
+  Rng R(Seed);
+  std::string S;
+  S += "chan c[8];\n";
+  S += "proc work(x) {\n";
+  for (int V = 0; V != 10; ++V)
+    S += "  var v" + std::to_string(V) + " = " + std::to_string(V) + ";\n";
+  auto Var = [&] { return "v" + std::to_string(R.below(10)); };
+  for (size_t I = 0; I != N; ++I) {
+    switch (R.below(8)) {
+    case 0:
+      S += "  " + Var() + " = env_input();\n";
+      break;
+    case 1: {
+      std::string A = Var();
+      S += "  if (" + A + " < " + Var() + ")\n";
+      S += "    " + A + " = " + A + " + 1;\n";
+      break;
+    }
+    case 2:
+      S += "  send(c, " + Var() + ");\n";
+      break;
+    default:
+      S += "  " + Var() + " = " + Var() + " * 3 + " +
+           std::to_string(R.below(100)) + ";\n";
+      break;
+    }
+  }
+  S += "}\n";
+  S += "process m = work(env);\n";
+  return S;
+}
+
+/// Dining philosophers (E7): N philosophers, N fork semaphores, classic
+/// left-then-right acquisition — deadlocks exist and dependencies are
+/// cyclic, stressing sleep sets.
+inline std::string philosophersProgram(int N, int Meals = 1) {
+  std::string S;
+  for (int I = 0; I != N; ++I)
+    S += "sem fork" + std::to_string(I) + "(1);\n";
+  S += "chan meals[" + std::to_string(N * Meals + 1) + "];\n";
+  for (int I = 0; I != N; ++I) {
+    int Left = I;
+    int Right = (I + 1) % N;
+    S += "proc phil" + std::to_string(I) + "() {\n";
+    S += "  var m;\n";
+    S += "  for (m = 0; m < " + std::to_string(Meals) + "; m = m + 1) {\n";
+    S += "    sem_wait(fork" + std::to_string(Left) + ");\n";
+    S += "    sem_wait(fork" + std::to_string(Right) + ");\n";
+    S += "    send(meals, " + std::to_string(I) + ");\n";
+    S += "    sem_signal(fork" + std::to_string(Right) + ");\n";
+    S += "    sem_signal(fork" + std::to_string(Left) + ");\n";
+    S += "  }\n";
+    S += "}\n";
+  }
+  for (int I = 0; I != N; ++I)
+    S += "process p" + std::to_string(I) + " = phil" + std::to_string(I) +
+         "();\n";
+  return S;
+}
+
+/// N independent producer/consumer pairs on disjoint channels (E7's
+/// persistent-set showcase: footprints are disjoint across pairs).
+inline std::string independentPairsProgram(int Pairs, int Msgs = 2) {
+  std::string S;
+  for (int I = 0; I != Pairs; ++I)
+    S += "chan link" + std::to_string(I) + "[1];\n";
+  for (int I = 0; I != Pairs; ++I) {
+    std::string Ch = "link" + std::to_string(I);
+    S += "proc prod" + std::to_string(I) + "() {\n";
+    S += "  var k;\n";
+    S += "  for (k = 0; k < " + std::to_string(Msgs) + "; k = k + 1)\n";
+    S += "    send(" + Ch + ", k);\n";
+    S += "}\n";
+    S += "proc cons" + std::to_string(I) + "() {\n";
+    S += "  var k;\n";
+    S += "  var v;\n";
+    S += "  for (k = 0; k < " + std::to_string(Msgs) + "; k = k + 1)\n";
+    S += "    v = recv(" + Ch + ");\n";
+    S += "}\n";
+  }
+  for (int I = 0; I != Pairs; ++I) {
+    S += "process sp" + std::to_string(I) + " = prod" + std::to_string(I) +
+         "();\n";
+    S += "process sc" + std::to_string(I) + " = cons" + std::to_string(I) +
+         "();\n";
+  }
+  return S;
+}
+
+} // namespace closer
+
+#endif // CLOSER_BENCH_BENCHUTIL_H

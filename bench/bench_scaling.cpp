@@ -1,0 +1,97 @@
+//===- bench_scaling.cpp - E4: closing-time linearity ------------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper (§4): "The overall time complexity of the above algorithm is
+// essentially linear in the size of G_j and G~_j since the transformation
+// can be performed by a single traversal of both graphs." This benchmark
+// sweeps program size and reports ns per (CFG node + define-use arc) — the
+// ratio should stay flat.
+//
+// Two timings per size:
+//   BM_AnalyzeAndClose: full pipeline cost (analysis + transformation);
+//   BM_TransformOnly:   Figure 1 Steps 3-5 alone, given the analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "dataflow/DefUse.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace closer;
+
+namespace {
+
+void BM_AnalyzeAndClose(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  auto Mod = benchCompile(scalingProgram(N));
+  size_t Nodes = Mod->totalNodes();
+
+  // Measure the define-use graph size once for the per-unit metric.
+  EnvAnalysis Probe(*Mod);
+  size_t DuArcs = 0;
+  for (size_t P = 0; P != Mod->Procs.size(); ++P)
+    DuArcs += Probe.dataflow(P).arcCount();
+
+  for (auto _ : State) {
+    Module Closed = closeModule(*Mod);
+    benchmark::DoNotOptimize(&Closed);
+  }
+  State.counters["nodes"] = static_cast<double>(Nodes);
+  State.counters["du_arcs"] = static_cast<double>(DuArcs);
+  State.counters["ns_per_unit"] = benchmark::Counter(
+      static_cast<double>(Nodes + DuArcs) * State.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_AnalyzeAndClose)
+    ->RangeMultiplier(4)
+    ->Range(128, 32768)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TransformOnly(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  auto Mod = benchCompile(scalingProgram(N));
+  EnvAnalysis Analysis(*Mod);
+  for (auto _ : State) {
+    Module Closed = closeModule(*Mod, Analysis);
+    benchmark::DoNotOptimize(&Closed);
+  }
+  State.counters["nodes"] = static_cast<double>(Mod->totalNodes());
+  State.counters["ns_per_node"] = benchmark::Counter(
+      static_cast<double>(Mod->totalNodes()) * State.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_TransformOnly)
+    ->RangeMultiplier(4)
+    ->Range(128, 32768)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FrontendCompile(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  std::string Src = scalingProgram(N);
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Mod = compileAndVerify(Src, Diags);
+    benchmark::DoNotOptimize(Mod.get());
+  }
+  State.counters["source_bytes"] = static_cast<double>(Src.size());
+}
+BENCHMARK(BM_FrontendCompile)
+    ->RangeMultiplier(4)
+    ->Range(128, 32768)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("E4: transformation cost vs program size (expect flat "
+              "ns_per_unit — 'essentially linear', paper section 4)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===- bench_statespace.cpp - E3: naive env vs transformed state space ------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+//
+// Quantifies the paper's §3 argument: pairing an open system with an
+// explicit most-general environment over an input domain of size D yields a
+// state space that grows with D (and is infinite for the unrestricted
+// environment), while the transformation's state space is independent of
+// the input domain.
+//
+// Series reported (filter program, K = 3 environment reads):
+//   naive(D)  for D in {2, 4, 8, ..., 1024}: explored states and paths
+//   closed    : explored states and paths (one row, no D axis)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "envgen/NaiveClose.h"
+#include "explorer/Search.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace closer;
+
+namespace {
+
+constexpr int FilterReads = 2;
+constexpr uint64_t RunBudget = 400000;
+
+SearchStats explore(const Module &Mod) {
+  SearchOptions Opts;
+  Opts.MaxDepth = 16;
+  Opts.MaxRuns = RunBudget; // The naive side explodes; cap and report.
+  Opts.UsePersistentSets = false;
+  Opts.UseSleepSets = false;
+  Explorer Ex(Mod, Opts);
+  return Ex.run();
+}
+
+void BM_NaiveEnvironment(benchmark::State &State) {
+  int64_t Domain = State.range(0);
+  auto Open = benchCompile(filterProgram(FilterReads));
+  Module Naive = naiveCloseModule(*Open, {Domain - 1});
+  SearchStats Stats;
+  for (auto _ : State)
+    Stats = explore(Naive);
+  State.counters["domain"] = static_cast<double>(Domain);
+  State.counters["states"] = static_cast<double>(Stats.StatesVisited);
+  State.counters["paths"] = static_cast<double>(Stats.Runs);
+  State.counters["transitions"] = static_cast<double>(Stats.TreeTransitions);
+}
+BENCHMARK(BM_NaiveEnvironment)->RangeMultiplier(4)->Range(2, 128);
+
+void BM_TransformedClosed(benchmark::State &State) {
+  CloseResult R = closeSource(filterProgram(FilterReads));
+  if (!R.ok())
+    std::abort();
+  SearchStats Stats;
+  for (auto _ : State)
+    Stats = explore(*R.Closed);
+  State.counters["states"] = static_cast<double>(Stats.StatesVisited);
+  State.counters["paths"] = static_cast<double>(Stats.Runs);
+  State.counters["transitions"] = static_cast<double>(Stats.TreeTransitions);
+}
+BENCHMARK(BM_TransformedClosed);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Print the headline series as a table (the "figure" this regenerates).
+  std::printf("E3: state-space size, naive most-general environment vs "
+              "transformation\n");
+  std::printf("workload: filter program, %d environment reads, full "
+              "exploration (no POR)\n\n", FilterReads);
+  std::printf("%-14s %12s %12s %14s\n", "variant", "states", "paths",
+              "transitions");
+
+  auto Open = benchCompile(filterProgram(FilterReads));
+  for (int64_t Domain = 2; Domain <= 1024; Domain *= 2) {
+    Module Naive = naiveCloseModule(*Open, {Domain - 1});
+    SearchStats Stats = explore(Naive);
+    std::printf("naive D=%-6lld %12llu %12llu %14llu%s\n",
+                static_cast<long long>(Domain),
+                static_cast<unsigned long long>(Stats.StatesVisited),
+                static_cast<unsigned long long>(Stats.Runs),
+                static_cast<unsigned long long>(Stats.TreeTransitions),
+                Stats.Completed ? "" : "  (run budget hit)");
+  }
+  CloseResult R = closeSource(filterProgram(FilterReads));
+  SearchStats Stats = explore(*R.Closed);
+  std::printf("%-14s %12llu %12llu %14llu\n", "closed (ours)",
+              static_cast<unsigned long long>(Stats.StatesVisited),
+              static_cast<unsigned long long>(Stats.Runs),
+              static_cast<unsigned long long>(Stats.TreeTransitions));
+  std::printf("\nThe naive series grows as (D)^%d; the transformed program "
+              "is domain-independent\n(2^%d branch paths, one per "
+              "even/odd choice sequence).\n\n",
+              FilterReads, FilterReads);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- quickstart.cpp - Closing your first open program ---------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+//
+// The smallest end-to-end tour of the library:
+//
+//   1. write an *open* MiniC program (its process takes an `env` argument
+//      and reads dialed digits with env_input());
+//   2. close it automatically with the paper's transformation;
+//   3. print the closed program (source and CFG form);
+//   4. explore its full state space with the VeriSoft-style explorer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgPrinter.h"
+#include "closing/Pipeline.h"
+#include "explorer/Search.h"
+
+#include <cstdio>
+
+using namespace closer;
+
+int main() {
+  // An open reactive program: a tiny "door controller". The environment
+  // provides badge codes; the controller unlocks or buzzes, and a monitor
+  // process audits the unlock count.
+  const char *Source = R"(
+chan events[4];
+
+proc controller(master) {
+  var badge;
+  var tries;
+  for (tries = 0; tries < 2; tries = tries + 1) {
+    badge = env_input();
+    if (badge == master)
+      send(events, 'unlock');
+    else
+      send(events, 'buzz');
+  }
+  send(events, 'off');
+}
+
+proc monitor() {
+  var ev;
+  var unlocks = 0;
+  ev = recv(events);
+  while (ev != 'off') {
+    if (ev == 'unlock')
+      unlocks = unlocks + 1;
+    VS_assert(unlocks <= 2);
+    ev = recv(events);
+  }
+}
+
+process ctrl = controller(env);
+process mon = monitor();
+)";
+
+  std::printf("=== open program (MiniC) ===\n%s\n", Source);
+
+  // Step 2: close it. closeSource runs parse -> sema -> CFG -> analysis ->
+  // transformation -> verification.
+  CloseResult R = closeSource(Source);
+  if (!R.ok()) {
+    std::printf("closing failed:\n%s\n", R.Diags.str().c_str());
+    return 1;
+  }
+
+  std::printf("=== closing statistics ===\n");
+  std::printf("  nodes: %zu -> %zu\n", R.Stats.NodesBefore,
+              R.Stats.NodesAfter);
+  std::printf("  env interface calls removed: %zu\n",
+              R.Stats.EnvCallsRemoved);
+  std::printf("  parameters removed:          %zu\n", R.Stats.ParamsRemoved);
+  std::printf("  VS_toss conditionals added:  %zu\n",
+              R.Stats.TossNodesInserted);
+
+  std::printf("\n=== closed program (emitted source) ===\n%s\n",
+              emitModuleSource(*R.Closed).c_str());
+
+  std::printf("=== closed controller CFG ===\n%s\n",
+              printCfg(*R.Closed->findProc("controller")).c_str());
+
+  // Step 4: systematic state-space exploration.
+  SearchOptions Opts;
+  Opts.MaxDepth = 30;
+  Explorer Ex(*R.Closed, Opts);
+  SearchStats Stats = Ex.run();
+
+  std::printf("=== exploration ===\n%s\n", Stats.str().c_str());
+  for (const ErrorReport &Rep : Ex.reports())
+    std::printf("\nreport:\n%s", Rep.str().c_str());
+
+  std::printf("\nThe closed system covers every behavior of the open system "
+              "under any environment,\nwithout enumerating badge codes: the "
+              "badge test became a VS_toss choice.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+//===- Cfg.h - Control-flow graph IR ---------------------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control-flow-graph representation of MiniC procedures, matching the
+/// paper's §4 model: each procedure is a graph G_j = (N_j, A_j) whose nodes
+/// are statements and whose arcs are labeled with mutually exclusive,
+/// exhaustive boolean guards. This IR is what the closing transformation
+/// consumes and produces, and what the runtime executes; it is therefore
+/// fully self-contained (it owns clones of all expression trees).
+///
+/// Node kinds: Start (defines/uses nothing), Assign, Branch (if), Switch,
+/// Call (user procedures and builtins, including all visible operations),
+/// Return (termination), and TossBranch — the nondeterministic conditional
+/// "testing the value of VS_toss(k)" that Step 4 of the paper's algorithm
+/// introduces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_CFG_CFG_H
+#define CLOSER_CFG_CFG_H
+
+#include "lang/Ast.h"
+#include "lang/Builtins.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace closer {
+
+/// Index of a node within its procedure's node vector.
+using NodeId = uint32_t;
+constexpr NodeId InvalidNode = ~static_cast<NodeId>(0);
+
+enum class CfgNodeKind {
+  Start,      ///< Unique procedure entry; uses and defines nothing.
+  Assign,     ///< Target = Value (Value is a non-call expression).
+  Branch,     ///< Two-way conditional on Value.
+  Switch,     ///< Multi-way conditional on Value.
+  Call,       ///< Procedure or builtin call; optional result Target.
+  TossBranch, ///< Conditional on a fresh VS_toss(TossBound) outcome.
+  Return,     ///< Termination statement; no out-arcs, uses nothing
+              ///< (return values are lowered to an assignment of the
+              ///< distinguished local __retval before the Return node).
+};
+
+enum class ArcKind {
+  Always,      ///< Unconditional fallthrough.
+  IfTrue,      ///< Branch condition nonzero.
+  IfFalse,     ///< Branch condition zero.
+  CaseEq,      ///< Switch scrutinee equals Value.
+  CaseDefault, ///< Switch scrutinee matches no CaseEq arc.
+  TossEq,      ///< TossBranch outcome equals Value.
+};
+
+/// One labeled control-flow arc.
+struct CfgArc {
+  ArcKind Kind = ArcKind::Always;
+  int64_t Value = 0; ///< CaseEq / TossEq payload.
+  NodeId Target = InvalidNode;
+};
+
+struct CfgNode {
+  CfgNodeKind Kind = CfgNodeKind::Start;
+  SourceLoc Loc;
+
+  ExprPtr Target; ///< Assign / Call result lvalue (VarRef, ArrayIndex or
+                  ///< Deref expression), or null.
+  ExprPtr Value;  ///< Assign RHS; Branch condition; Switch scrutinee.
+
+  std::string Callee;                        ///< Call: procedure name.
+  BuiltinKind Builtin = BuiltinKind::None;   ///< Call: builtin classifier.
+  std::vector<ExprPtr> Args;                 ///< Call arguments.
+
+  int64_t TossBound = 0; ///< TossBranch: outcomes range over [0, TossBound].
+
+  std::vector<CfgArc> Arcs;
+
+  CfgNode() = default;
+  CfgNode(CfgNode &&) = default;
+  CfgNode &operator=(CfgNode &&) = default;
+
+  /// Deep copy (expression trees cloned).
+  CfgNode clone() const;
+
+  /// True for Call nodes whose operation is visible in the paper's sense
+  /// (communication-object builtins and VS_assert). Calls to user
+  /// procedures are not themselves visible operations.
+  bool isVisibleOp() const {
+    return Kind == CfgNodeKind::Call && Builtin != BuiltinKind::None &&
+           builtinInfo(Builtin).IsVisible;
+  }
+};
+
+/// A local variable slot of a procedure frame.
+struct LocalVar {
+  std::string Name;
+  int64_t ArraySize = -1; ///< >= 0 for arrays.
+};
+
+/// A procedure lowered to its control-flow graph.
+struct ProcCfg {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<LocalVar> Locals; ///< Hoisted declarations, in source order.
+  std::vector<CfgNode> Nodes;   ///< Nodes[Entry] is the Start node.
+  NodeId Entry = 0;
+
+  const CfgNode &node(NodeId Id) const { return Nodes[Id]; }
+  CfgNode &node(NodeId Id) { return Nodes[Id]; }
+  size_t size() const { return Nodes.size(); }
+
+  /// True when \p Name is a parameter of this procedure.
+  bool isParam(const std::string &VarName) const;
+  /// True when \p Name is a declared local (including __retval).
+  bool isLocal(const std::string &VarName) const;
+  /// Returns the index of parameter \p VarName or -1.
+  int paramIndex(const std::string &VarName) const;
+
+  ProcCfg clone() const;
+};
+
+/// A whole program lowered to CFG form: the unit the closing transformation
+/// maps to a new Module and the unit the runtime executes.
+struct Module {
+  std::vector<CommDecl> Comms;
+  std::vector<GlobalDecl> Globals;
+  std::vector<ProcCfg> Procs;
+  std::vector<ProcessDecl> Processes;
+
+  const ProcCfg *findProc(const std::string &Name) const;
+  ProcCfg *findProc(const std::string &Name);
+  int procIndex(const std::string &Name) const;
+  const CommDecl *findComm(const std::string &Name) const;
+  int commIndex(const std::string &Name) const;
+  const GlobalDecl *findGlobal(const std::string &Name) const;
+
+  /// Total node count across all procedures (the size measure used by the
+  /// linearity experiment E4).
+  size_t totalNodes() const;
+
+  Module clone() const;
+};
+
+/// Name of the distinguished local carrying a procedure's return value.
+inline const char *retValName() { return "__retval"; }
+
+/// Removes nodes unreachable from the entry and compacts node ids. The
+/// entry must be node 0 and remains node 0. All arcs must be bound.
+void pruneUnreachableNodes(ProcCfg &Proc);
+
+} // namespace closer
+
+#endif // CLOSER_CFG_CFG_H

@@ -1,0 +1,43 @@
+//===- CfgPrinter.h - CFG listings, dot dumps, source emission -*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three renderings of CFG modules:
+///
+///  * a textual listing (one node per line) used by golden tests and the
+///    Figure 2/3 benchmark output;
+///  * Graphviz dot, for visual inspection;
+///  * MiniC source in label/goto normal form. Emitted source reparses and
+///    recompiles to a trace-equivalent module, which is how closed programs
+///    are persisted (the paper's transformation is source-to-source).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_CFG_CFGPRINTER_H
+#define CLOSER_CFG_CFGPRINTER_H
+
+#include "cfg/Cfg.h"
+
+#include <string>
+
+namespace closer {
+
+/// One-line-per-node listing of \p Proc.
+std::string printCfg(const ProcCfg &Proc);
+
+/// Listing of every procedure in \p Mod plus its declarations.
+std::string printModule(const Module &Mod);
+
+/// Graphviz digraph of \p Proc.
+std::string cfgToDot(const ProcCfg &Proc);
+
+/// Emits \p Mod as parseable MiniC source in goto normal form.
+std::string emitModuleSource(const Module &Mod);
+
+} // namespace closer
+
+#endif // CLOSER_CFG_CFGPRINTER_H

@@ -1,0 +1,72 @@
+//===- DomainPartition.h - Input-domain partitioning (§7) ------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The improvement the paper sketches as future work in §7: "Consider a
+/// resource-management system that receives 32-bit integers ... but whose
+/// visible behavior only depends on which of a small set of ranges each
+/// request falls into. Our transformation would completely eliminate the
+/// open interface ... However, one could hope for a static analysis that
+/// would determine the appropriate partitioning of the input domain, and,
+/// if it is small enough, simplify the interface instead of eliminating
+/// it."
+///
+/// This pass implements that analysis for the decidable fragment where it
+/// is exact: an environment input (an `env_input()` result or an `env`
+/// process argument) is *partitionable* when its value flows only into
+/// two-way branches comparing it against compile-time constants — no
+/// arithmetic, no escaping into sends/calls/stores, no aliasing. The
+/// comparisons against constants {c1 < c2 < ...} induce a finite partition
+/// of the integers whose classes are fully covered by the representative
+/// set {ci - 1, ci, ci + 1}; the input is then replaced by a
+/// nondeterministic choice among the representatives.
+///
+/// Unlike the Figure 1 transformation, the branches survive with their real
+/// conditions — the closed program keeps the input-classification logic,
+/// trading a slightly larger branching factor for exactness (no spurious
+/// toss combinations). Inputs that fail the eligibility check are left
+/// untouched for the standard closing transformation to eliminate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_CLOSING_DOMAINPARTITION_H
+#define CLOSER_CLOSING_DOMAINPARTITION_H
+
+#include "cfg/Cfg.h"
+
+#include <cstddef>
+
+namespace closer {
+
+struct PartitionOptions {
+  /// Inputs whose representative set exceeds this are left open ("if it is
+  /// small enough", §7).
+  size_t MaxRepresentatives = 16;
+};
+
+struct PartitionStats {
+  size_t InputsPartitioned = 0; ///< env_input sites rewritten.
+  size_t ParamsPartitioned = 0; ///< env process arguments rewritten.
+  size_t InputsLeftOpen = 0;    ///< Ineligible sites (closing handles them).
+  size_t RepresentativesTotal = 0;
+};
+
+/// Rewrites every partitionable environment input of \p Mod into a
+/// nondeterministic choice over its partition representatives. The result
+/// may still be open (ineligible inputs remain); compose with closeModule
+/// for a fully closed program:
+///
+/// \code
+///   Module Simplified = partitionInputs(Open);
+///   Module Closed = closeModule(Simplified);
+/// \endcode
+Module partitionInputs(const Module &Mod, const PartitionOptions &Options = {},
+                       PartitionStats *Stats = nullptr);
+
+} // namespace closer
+
+#endif // CLOSER_CLOSING_DOMAINPARTITION_H

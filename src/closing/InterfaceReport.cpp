@@ -1,0 +1,129 @@
+//===- InterfaceReport.cpp - Environment-interface inventory ----------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "closing/InterfaceReport.h"
+
+using namespace closer;
+
+std::string InterfaceReport::str() const {
+  std::string Out;
+  Out += "environment interface\n";
+  Out += "=====================\n";
+  if (Points.empty()) {
+    Out += "  (none: the program is closed)\n";
+  } else {
+    for (const InterfacePoint &P : Points) {
+      Out += "  ";
+      switch (P.K) {
+      case InterfacePoint::Kind::EnvArg:
+        Out += "env argument  ";
+        break;
+      case InterfacePoint::Kind::EnvInputCall:
+        Out += "env_input     ";
+        break;
+      case InterfacePoint::Kind::EnvOutputCall:
+        Out += "env_output    ";
+        break;
+      }
+      Out += P.Proc;
+      if (!P.Detail.empty())
+        Out += " (" + P.Detail + ")";
+      if (P.Loc.isValid())
+        Out += " at " + P.Loc.str();
+      Out += "\n";
+    }
+  }
+
+  auto Section = [&Out](const char *Title,
+                        const std::vector<std::string> &Items) {
+    if (Items.empty())
+      return;
+    Out += std::string(Title) + ":";
+    for (const std::string &I : Items)
+      Out += " " + I;
+    Out += "\n";
+  };
+  Out += "\nenvironment-data spread\n";
+  Out += "=======================\n";
+  Section("  tainted channels", TaintedChannels);
+  Section("  tainted shared vars", TaintedShared);
+  Section("  tainted globals", TaintedGlobals);
+  Section("  tainted parameters", TaintedParams);
+  Section("  tainted returns", TaintedReturns);
+  Out += "  statements dependent on the environment: " +
+         std::to_string(NodesDependentOnEnv) + " of " +
+         std::to_string(TotalNodes) + "\n";
+  return Out;
+}
+
+InterfaceReport closer::buildInterfaceReport(const Module &Mod) {
+  EnvAnalysis Analysis(Mod);
+  return buildInterfaceReport(Mod, Analysis);
+}
+
+InterfaceReport closer::buildInterfaceReport(const Module &Mod,
+                                             const EnvAnalysis &Analysis) {
+  InterfaceReport Report;
+  const TaintResult &Taint = Analysis.taint();
+
+  for (const ProcessDecl &Inst : Mod.Processes) {
+    const ProcCfg *Proc = Mod.findProc(Inst.ProcName);
+    for (size_t A = 0, E = Inst.Args.size(); A != E; ++A) {
+      if (!Inst.Args[A].IsEnv)
+        continue;
+      InterfacePoint P;
+      P.K = InterfacePoint::Kind::EnvArg;
+      P.Proc = Inst.Name;
+      if (Proc && A < Proc->Params.size())
+        P.Detail = Inst.ProcName + "::" + Proc->Params[A];
+      P.Loc = Inst.Loc;
+      Report.Points.push_back(std::move(P));
+    }
+  }
+
+  for (size_t ProcIdx = 0, E = Mod.Procs.size(); ProcIdx != E; ++ProcIdx) {
+    const ProcCfg &Proc = Mod.Procs[ProcIdx];
+    Report.TotalNodes += Proc.Nodes.size();
+    const ProcTaint &PT = Taint.Procs[ProcIdx];
+    for (size_t I = 0, N = Proc.Nodes.size(); I != N; ++I) {
+      if (PT.InNI[I])
+        ++Report.NodesDependentOnEnv;
+      const CfgNode &Node = Proc.Nodes[I];
+      if (Node.Kind != CfgNodeKind::Call)
+        continue;
+      if (Node.Builtin == BuiltinKind::EnvInput) {
+        InterfacePoint P;
+        P.K = InterfacePoint::Kind::EnvInputCall;
+        P.Proc = Proc.Name;
+        if (Node.Target && Node.Target->Kind == ExprKind::VarRef)
+          P.Detail = Node.Target->Name;
+        P.Loc = Node.Loc;
+        Report.Points.push_back(std::move(P));
+      } else if (Node.Builtin == BuiltinKind::EnvOutput) {
+        InterfacePoint P;
+        P.K = InterfacePoint::Kind::EnvOutputCall;
+        P.Proc = Proc.Name;
+        P.Loc = Node.Loc;
+        Report.Points.push_back(std::move(P));
+      }
+    }
+    for (size_t A = 0, PE = Proc.Params.size(); A != PE; ++A)
+      if (PT.TaintedParams[A])
+        Report.TaintedParams.push_back(Proc.Name + "(" + Proc.Params[A] +
+                                       ")");
+    if (PT.TaintedReturn)
+      Report.TaintedReturns.push_back(Proc.Name);
+  }
+
+  Report.TaintedChannels.assign(Taint.TaintedChannels.begin(),
+                                Taint.TaintedChannels.end());
+  Report.TaintedShared.assign(Taint.TaintedShared.begin(),
+                              Taint.TaintedShared.end());
+  Report.TaintedGlobals.assign(Taint.TaintedGlobals.begin(),
+                               Taint.TaintedGlobals.end());
+  return Report;
+}

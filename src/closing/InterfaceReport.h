@@ -1,0 +1,72 @@
+//===- InterfaceReport.h - Environment-interface inventory -----*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured inventory of an open program's environment interface: what
+/// I_S and O_S actually are, where environment data enters, and how far it
+/// spreads. The paper's §6 platform is as much about *understanding* large
+/// reactive code ("a lightweight testing and reverse-engineering platform")
+/// as about verifying it; this report is the understanding half — it tells
+/// a developer what they would have to stub manually, before deciding what
+/// to close automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_CLOSING_INTERFACEREPORT_H
+#define CLOSER_CLOSING_INTERFACEREPORT_H
+
+#include "dataflow/EnvTaint.h"
+
+#include <string>
+#include <vector>
+
+namespace closer {
+
+/// One place where environment data enters or leaves the system.
+struct InterfacePoint {
+  enum class Kind {
+    EnvArg,        ///< `env` process argument.
+    EnvInputCall,  ///< x = env_input().
+    EnvOutputCall, ///< env_output(e).
+  };
+  Kind K = Kind::EnvInputCall;
+  std::string Proc;    ///< Procedure (or process for EnvArg).
+  std::string Detail;  ///< Variable / parameter / process name.
+  SourceLoc Loc;
+};
+
+struct InterfaceReport {
+  std::vector<InterfacePoint> Points;
+
+  // Spread of environment data through the system:
+  std::vector<std::string> TaintedChannels;
+  std::vector<std::string> TaintedShared;
+  std::vector<std::string> TaintedGlobals;
+  /// "proc(paramName)" entries for parameters bound to env data.
+  std::vector<std::string> TaintedParams;
+  /// Procedures whose return value is environment-dependent.
+  std::vector<std::string> TaintedReturns;
+
+  size_t TotalNodes = 0;
+  size_t NodesDependentOnEnv = 0; ///< |N_I| summed over procedures.
+
+  bool isClosed() const { return Points.empty() && NodesDependentOnEnv == 0; }
+
+  /// Human-readable rendering.
+  std::string str() const;
+};
+
+/// Builds the inventory for \p Mod using a fresh environment analysis.
+InterfaceReport buildInterfaceReport(const Module &Mod);
+
+/// Builds the inventory reusing an existing analysis of \p Mod.
+InterfaceReport buildInterfaceReport(const Module &Mod,
+                                     const EnvAnalysis &Analysis);
+
+} // namespace closer
+
+#endif // CLOSER_CLOSING_INTERFACEREPORT_H

@@ -1,0 +1,39 @@
+//===- Pipeline.cpp - One-call closing pipeline -----------------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "closing/Pipeline.h"
+
+#include "cfg/CfgBuilder.h"
+#include "cfg/CfgVerifier.h"
+
+using namespace closer;
+
+std::unique_ptr<Module> closer::compileAndVerify(const std::string &Source,
+                                                 DiagnosticEngine &Diags) {
+  std::unique_ptr<Module> Mod = compileMiniC(Source, Diags);
+  if (!Mod)
+    return nullptr;
+  if (!verifyModule(*Mod, Diags))
+    return nullptr;
+  return Mod;
+}
+
+CloseResult closer::closeSource(const std::string &Source,
+                                const ClosingOptions &Options) {
+  CloseResult Result;
+  Result.Open = compileAndVerify(Source, Result.Diags);
+  if (!Result.Open)
+    return Result;
+  Module Closed = closeModule(*Result.Open, Options, &Result.Stats);
+  if (!verifyModule(Closed, Result.Diags)) {
+    Result.Diags.error(SourceLoc(),
+                       "internal error: closed module failed verification");
+    return Result;
+  }
+  Result.Closed = std::make_unique<Module>(std::move(Closed));
+  return Result;
+}

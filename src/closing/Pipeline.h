@@ -1,0 +1,53 @@
+//===- Pipeline.h - One-call closing pipeline ------------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public facade: MiniC source in, closed program out. This is the
+/// entry point examples and downstream users call:
+///
+/// \code
+///   closer::CloseResult R = closer::closeSource(SourceText);
+///   if (!R.ok()) { report R.Diags; }
+///   run VeriSoft-style exploration on *R.Closed, or persist
+///   closer::emitModuleSource(*R.Closed).
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_CLOSING_PIPELINE_H
+#define CLOSER_CLOSING_PIPELINE_H
+
+#include "closing/ClosingTransform.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace closer {
+
+/// Everything produced by one closing run.
+struct CloseResult {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> Open;   ///< The compiled open module.
+  std::unique_ptr<Module> Closed; ///< The transformed closed module.
+  ClosingStats Stats;
+
+  bool ok() const { return Closed != nullptr && !Diags.hasErrors(); }
+};
+
+/// Parses, checks, lowers, analyzes and closes \p Source.
+CloseResult closeSource(const std::string &Source,
+                        const ClosingOptions &Options = {});
+
+/// Compiles \p Source and returns the (possibly open) module, or nullptr
+/// with diagnostics in \p Diags. Verifies the lowered module.
+std::unique_ptr<Module> compileAndVerify(const std::string &Source,
+                                         DiagnosticEngine &Diags);
+
+} // namespace closer
+
+#endif // CLOSER_CLOSING_PIPELINE_H

@@ -1,0 +1,258 @@
+//===- DefUse.cpp - Reaching definitions and define-use graphs -------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/DefUse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+using namespace closer;
+
+void ExprUses::merge(const ExprUses &Other) {
+  Plain.insert(Other.Plain.begin(), Other.Plain.end());
+  Cross.insert(Other.Cross.begin(), Other.Cross.end());
+  UsesUnknown |= Other.UsesUnknown;
+}
+
+namespace {
+
+void collectInto(const Module &Mod, const ProcCfg &Proc,
+                 const AliasAnalysis &Alias, const Expr *E, ExprUses &Out) {
+  if (!E)
+    return;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return;
+  case ExprKind::Unknown:
+    Out.UsesUnknown = true;
+    return;
+  case ExprKind::VarRef:
+    Out.Plain.insert(E->Name);
+    return;
+  case ExprKind::ArrayIndex:
+    Out.Plain.insert(E->Name);
+    collectInto(Mod, Proc, Alias, E->Lhs.get(), Out);
+    return;
+  case ExprKind::AddrOf:
+    // Taking an address reads nothing except an array index expression.
+    if (E->Lhs->Kind == ExprKind::ArrayIndex)
+      collectInto(Mod, Proc, Alias, E->Lhs->Lhs.get(), Out);
+    return;
+  case ExprKind::Deref: {
+    // Reads the pointer expression and everything it may point to.
+    collectInto(Mod, Proc, Alias, E->Lhs.get(), Out);
+    for (const std::string &Qual : Alias.derefTargets(Proc, E->Lhs.get())) {
+      if (isGlobalQual(Qual) || ownerProc(Qual) == Proc.Name)
+        Out.Plain.insert(plainName(Qual));
+      else
+        Out.Cross.insert(Qual);
+    }
+    return;
+  }
+  case ExprKind::Unary:
+    collectInto(Mod, Proc, Alias, E->Lhs.get(), Out);
+    return;
+  case ExprKind::Binary:
+    collectInto(Mod, Proc, Alias, E->Lhs.get(), Out);
+    collectInto(Mod, Proc, Alias, E->Rhs.get(), Out);
+    return;
+  case ExprKind::Call:
+    assert(false && "call expressions are lowered to Call nodes");
+    return;
+  }
+}
+
+} // namespace
+
+ExprUses closer::collectExprUses(const Module &Mod, const ProcCfg &Proc,
+                                 const AliasAnalysis &Alias, const Expr *E) {
+  ExprUses Out;
+  collectInto(Mod, Proc, Alias, E, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ProcDataflow
+//===----------------------------------------------------------------------===//
+
+ProcDataflow::ProcDataflow(const Module &Mod, const ProcCfg &Proc,
+                           const AliasAnalysis &Alias)
+    : Proc(Proc) {
+  size_t N = Proc.Nodes.size();
+  Uses.resize(N);
+  CrossUses.resize(N);
+  NodeUsesUnknown.assign(N, false);
+  Defs.resize(N);
+  CrossDefs.resize(N);
+  DuSucc.resize(N);
+  DuPred.resize(N);
+  EntryReaching.resize(N);
+  computeUsesDefs(Mod, Alias);
+  computeReachingDefs();
+}
+
+void ProcDataflow::computeUsesDefs(const Module &Mod,
+                                   const AliasAnalysis &Alias) {
+  for (size_t I = 0, N = Proc.Nodes.size(); I != N; ++I) {
+    const CfgNode &Node = Proc.Nodes[I];
+    ExprUses U;
+
+    // Value / condition expression.
+    if (Node.Value)
+      collectInto(Mod, Proc, Alias, Node.Value.get(), U);
+
+    // Call arguments. The object argument of an object builtin is a name,
+    // not a data read.
+    unsigned FirstValueArg = 0;
+    if (Node.Kind == CfgNodeKind::Call && Node.Builtin != BuiltinKind::None &&
+        builtinInfo(Node.Builtin).TakesObject)
+      FirstValueArg = 1;
+    for (size_t A = FirstValueArg, AE = Node.Args.size(); A != AE; ++A)
+      collectInto(Mod, Proc, Alias, Node.Args[A].get(), U);
+
+    // Target lvalue reads: index expressions and dereferenced pointers.
+    if (Node.Target) {
+      const Expr *T = Node.Target.get();
+      switch (T->Kind) {
+      case ExprKind::VarRef:
+        break;
+      case ExprKind::ArrayIndex:
+        collectInto(Mod, Proc, Alias, T->Lhs.get(), U);
+        break;
+      case ExprKind::Deref:
+        collectInto(Mod, Proc, Alias, T->Lhs.get(), U);
+        // Note: the *pointed-to* cells are written, not read; they are
+        // handled as definitions below. Remove them from the read set the
+        // Deref collector would have added.
+        break;
+      default:
+        break;
+      }
+    }
+
+    // Definitions.
+    if (Node.Target) {
+      const Expr *T = Node.Target.get();
+      switch (T->Kind) {
+      case ExprKind::VarRef:
+        Defs[I].push_back({T->Name, /*Strong=*/true});
+        break;
+      case ExprKind::ArrayIndex:
+        Defs[I].push_back({T->Name, /*Strong=*/false});
+        break;
+      case ExprKind::Deref: {
+        for (const std::string &Qual :
+             Alias.derefTargets(Proc, T->Lhs.get())) {
+          if (isGlobalQual(Qual) || ownerProc(Qual) == Proc.Name)
+            Defs[I].push_back({plainName(Qual), /*Strong=*/false});
+          else
+            CrossDefs[I].insert(Qual);
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+
+    // A deref TARGET also appears in U via the generic collector when the
+    // lvalue pointer expression mentions the pointed-to variables; that is
+    // acceptable over-approximation (a weak def keeps old values live, so
+    // treating the cell as also-read is sound for taint purposes).
+    Uses[I] = std::move(U.Plain);
+    CrossUses[I] = std::move(U.Cross);
+    NodeUsesUnknown[I] = U.UsesUnknown;
+  }
+}
+
+void ProcDataflow::computeReachingDefs() {
+  // Definition sites are (node, var); the entry contributes a pseudo-def
+  // for every parameter (its environment-bindable incoming value) and every
+  // global (its value as left by other code).
+  constexpr NodeId EntryDef = InvalidNode;
+  using DefSite = std::pair<NodeId, std::string>;
+  size_t N = Proc.Nodes.size();
+
+  std::vector<std::set<DefSite>> In(N), Out(N);
+
+  // Predecessor lists.
+  std::vector<std::vector<NodeId>> Preds(N);
+  for (size_t I = 0; I != N; ++I)
+    for (const CfgArc &Arc : Proc.Nodes[I].Arcs)
+      Preds[Arc.Target].push_back(static_cast<NodeId>(I));
+
+  std::set<DefSite> EntrySet;
+  for (const std::string &P : Proc.Params)
+    EntrySet.insert({EntryDef, P});
+  // Globals: pseudo-def at entry so later uses get a def-use source that
+  // the taint analysis can interpret flow-insensitively.
+
+  auto Transfer = [&](NodeId Id, const std::set<DefSite> &InSet) {
+    std::set<DefSite> Result;
+    // Kill strong defs.
+    std::set<std::string> Killed;
+    for (const VarDef &D : Defs[Id])
+      if (D.Strong)
+        Killed.insert(D.Name);
+    for (const DefSite &Site : InSet)
+      if (!Killed.count(Site.second))
+        Result.insert(Site);
+    for (const VarDef &D : Defs[Id])
+      Result.insert({Id, D.Name});
+    return Result;
+  };
+
+  // Worklist iteration (forward, may). Seeding every node once guarantees
+  // each node's Out is computed at least once even in unreachable corners.
+  std::vector<bool> InWork(N, true);
+  std::vector<NodeId> Work;
+  for (size_t I = N; I != 0; --I)
+    Work.push_back(static_cast<NodeId>(I - 1));
+  while (!Work.empty()) {
+    NodeId Id = Work.back();
+    Work.pop_back();
+    InWork[Id] = false;
+
+    std::set<DefSite> NewIn =
+        (Id == Proc.Entry) ? EntrySet : std::set<DefSite>();
+    for (NodeId Pred : Preds[Id])
+      NewIn.insert(Out[Pred].begin(), Out[Pred].end());
+    std::set<DefSite> NewOut = Transfer(Id, NewIn);
+    bool Changed = NewOut != Out[Id];
+    In[Id] = std::move(NewIn);
+    Out[Id] = std::move(NewOut);
+    if (!Changed)
+      continue;
+    for (const CfgArc &Arc : Proc.Nodes[Id].Arcs) {
+      if (!InWork[Arc.Target]) {
+        InWork[Arc.Target] = true;
+        Work.push_back(Arc.Target);
+      }
+    }
+  }
+
+  // Materialize define-use arcs.
+  for (size_t I = 0; I != N; ++I) {
+    for (const DefSite &Site : In[I]) {
+      if (!Uses[I].count(Site.second))
+        continue;
+      if (Site.first == EntryDef) {
+        EntryReaching[I].insert(Site.second);
+        continue;
+      }
+      DuSucc[Site.first].push_back({static_cast<NodeId>(I), Site.second});
+      DuPred[I].push_back({Site.first, Site.second});
+      ++NumArcs;
+    }
+  }
+}
+
+bool ProcDataflow::paramEntryReaches(NodeId N, const std::string &Var) const {
+  return EntryReaching[N].count(Var) != 0;
+}

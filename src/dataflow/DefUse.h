@@ -1,0 +1,120 @@
+//===- DefUse.h - Reaching definitions and define-use graphs ---*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-procedure define-use graphs exactly as the paper defines them (§4):
+/// the define-use graph G~_j = (N_j, A~_j) has an arc (n, n') labeled v when
+/// n defines variable v, n' uses v, and some control-flow path from n to n'
+/// does not redefine v. Built from classic reaching definitions over the
+/// CFG, with may-definitions (array elements, pointer dereferences via the
+/// may-alias analysis) as weak (non-killing) definitions.
+///
+/// Each node also exposes:
+///  * uses(n)      — plain names of same-procedure/global variables read;
+///  * crossUses(n) — qualified names of other procedures' variables read
+///                   through pointers;
+///  * defs(n)      — written variables with strong/weak classification;
+///  * crossDefs(n) — qualified names written in other procedures' frames;
+///  * usesUnknown(n) — the node reads the distinguished `unknown` literal;
+///  * paramEntryReaches(n, v) — the incoming (environment-bindable) value
+///                   of parameter v may still be live at n.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_DATAFLOW_DEFUSE_H
+#define CLOSER_DATAFLOW_DEFUSE_H
+
+#include "cfg/Cfg.h"
+#include "dataflow/AliasAnalysis.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace closer {
+
+/// Collects the variables an expression reads, expanding dereferences via
+/// the alias analysis. Used both for building define-use graphs and for
+/// deciding argument taint during the closing transformation.
+struct ExprUses {
+  std::set<std::string> Plain; ///< Same-procedure locals/params + globals.
+  std::set<std::string> Cross; ///< Qualified names from other procedures.
+  bool UsesUnknown = false;
+
+  void merge(const ExprUses &Other);
+};
+
+/// Variables read by \p E evaluated inside \p Proc.
+ExprUses collectExprUses(const Module &Mod, const ProcCfg &Proc,
+                         const AliasAnalysis &Alias, const Expr *E);
+
+/// One definition performed by a node.
+struct VarDef {
+  std::string Name;  ///< Plain name (same-proc or global).
+  bool Strong = false; ///< Kills previous definitions of Name.
+};
+
+/// The define-use graph of one procedure.
+class ProcDataflow {
+public:
+  ProcDataflow(const Module &Mod, const ProcCfg &Proc,
+               const AliasAnalysis &Alias);
+
+  const ProcCfg &proc() const { return Proc; }
+
+  const std::set<std::string> &uses(NodeId N) const { return Uses[N]; }
+  const std::set<std::string> &crossUses(NodeId N) const {
+    return CrossUses[N];
+  }
+  bool usesUnknown(NodeId N) const { return NodeUsesUnknown[N]; }
+  const std::vector<VarDef> &defs(NodeId N) const { return Defs[N]; }
+  const std::set<std::string> &crossDefs(NodeId N) const {
+    return CrossDefs[N];
+  }
+
+  /// Define-use arcs out of \p N: (successor use node, variable).
+  const std::vector<std::pair<NodeId, std::string>> &
+  duSuccessors(NodeId N) const {
+    return DuSucc[N];
+  }
+
+  /// Define-use arcs into \p N: (defining node, variable).
+  const std::vector<std::pair<NodeId, std::string>> &
+  duPredecessors(NodeId N) const {
+    return DuPred[N];
+  }
+
+  /// True when the value parameter \p Var received at entry may reach the
+  /// use at node \p N (no intervening strong definition on some path).
+  bool paramEntryReaches(NodeId N, const std::string &Var) const;
+
+  /// Total number of define-use arcs (size measure for the linearity
+  /// experiment).
+  size_t arcCount() const { return NumArcs; }
+
+private:
+  void computeUsesDefs(const Module &Mod, const AliasAnalysis &Alias);
+  void computeReachingDefs();
+
+  const ProcCfg &Proc;
+  std::vector<std::set<std::string>> Uses;
+  std::vector<std::set<std::string>> CrossUses;
+  std::vector<bool> NodeUsesUnknown;
+  std::vector<std::vector<VarDef>> Defs;
+  std::vector<std::set<std::string>> CrossDefs;
+  std::vector<std::vector<std::pair<NodeId, std::string>>> DuSucc;
+  std::vector<std::vector<std::pair<NodeId, std::string>>> DuPred;
+  std::vector<std::set<std::string>> EntryReaching; ///< Per node: params
+                                                    ///< whose entry value
+                                                    ///< reaches the node and
+                                                    ///< is used there.
+  size_t NumArcs = 0;
+};
+
+} // namespace closer
+
+#endif // CLOSER_DATAFLOW_DEFUSE_H

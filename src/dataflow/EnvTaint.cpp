@@ -1,0 +1,339 @@
+//===- EnvTaint.cpp - Environment-input (taint) analysis -------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/EnvTaint.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace closer;
+
+//===----------------------------------------------------------------------===//
+// TaintResult helpers
+//===----------------------------------------------------------------------===//
+
+bool TaintResult::exprTainted(const Module &Mod, const AliasAnalysis &Alias,
+                              size_t ProcIdx, NodeId N, const Expr *E) const {
+  if (!E)
+    return false;
+  ExprUses U = collectExprUses(Mod, Mod.Procs[ProcIdx], Alias, E);
+  if (U.UsesUnknown)
+    return true;
+  const std::set<std::string> &Vi = Procs[ProcIdx].VI[N];
+  for (const std::string &V : U.Plain)
+    if (Vi.count(V))
+      return true;
+  for (const std::string &Q : U.Cross)
+    if (EverTainted.count(Q))
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// EnvAnalysis
+//===----------------------------------------------------------------------===//
+
+EnvAnalysis::EnvAnalysis(const Module &Mod, TaintOptions Options) : Mod(Mod) {
+  Alias = std::make_unique<AliasAnalysis>(Mod);
+  Dataflows.reserve(Mod.Procs.size());
+  for (const ProcCfg &Proc : Mod.Procs)
+    Dataflows.push_back(std::make_unique<ProcDataflow>(Mod, Proc, *Alias));
+  runFixpoint(Options);
+}
+
+namespace {
+
+/// Size snapshot of all monotone sets, for fixpoint detection.
+struct Footprint {
+  size_t Globals, Channels, Shared, CrossWritten, EverTainted, Params;
+  unsigned Returns;
+
+  bool operator==(const Footprint &O) const = default;
+};
+
+Footprint footprint(const TaintResult &R) {
+  size_t Params = 0;
+  unsigned Returns = 0;
+  for (const ProcTaint &P : R.Procs) {
+    for (bool B : P.TaintedParams)
+      Params += B;
+    Returns += P.TaintedReturn;
+  }
+  return {R.TaintedGlobals.size(), R.TaintedChannels.size(),
+          R.TaintedShared.size(), R.CrossWritten.size(),
+          R.EverTainted.size(),   Params,
+          Returns};
+}
+
+} // namespace
+
+void EnvAnalysis::runFixpoint(TaintOptions Options) {
+  size_t NumProcs = Mod.Procs.size();
+  Result.Procs.resize(NumProcs);
+  for (size_t P = 0; P != NumProcs; ++P) {
+    const ProcCfg &Proc = Mod.Procs[P];
+    Result.Procs[P].TaintedParams.assign(Proc.Params.size(), false);
+    Result.Procs[P].InNI.assign(Proc.Nodes.size(), false);
+    Result.Procs[P].EnvSource.assign(Proc.Nodes.size(), false);
+    Result.Procs[P].VI.assign(Proc.Nodes.size(), {});
+  }
+
+  // Seed: `env` process arguments bind environment values to top-level
+  // parameters.
+  for (const ProcessDecl &Inst : Mod.Processes) {
+    int ProcIdx = Mod.procIndex(Inst.ProcName);
+    if (ProcIdx < 0)
+      continue;
+    for (size_t I = 0,
+                E = std::min(Inst.Args.size(),
+                             Result.Procs[ProcIdx].TaintedParams.size());
+         I != E; ++I)
+      if (Inst.Args[I].IsEnv)
+        Result.Procs[ProcIdx].TaintedParams[I] = true;
+  }
+
+  Footprint Prev = footprint(Result);
+  for (;;) {
+    for (size_t P = 0; P != NumProcs; ++P) {
+      const ProcCfg &Proc = Mod.Procs[P];
+      const ProcDataflow &DF = *Dataflows[P];
+      ProcTaint &PT = Result.Procs[P];
+      size_t N = Proc.Nodes.size();
+
+      // --- Identify env-definition sources and seed uses -----------------
+      std::fill(PT.EnvSource.begin(), PT.EnvSource.end(), false);
+      std::vector<bool> Seed(N, false);
+      for (size_t I = 0; I != N; ++I) {
+        const CfgNode &Node = Proc.Nodes[I];
+        if (Node.Kind == CfgNodeKind::Call) {
+          switch (Node.Builtin) {
+          case BuiltinKind::EnvInput:
+            PT.EnvSource[I] = true;
+            break;
+          case BuiltinKind::Recv:
+            if (!Node.Args.empty() &&
+                Result.TaintedChannels.count(Node.Args[0]->Name))
+              PT.EnvSource[I] = true;
+            break;
+          case BuiltinKind::SharedRead:
+            if (!Node.Args.empty() &&
+                Result.TaintedShared.count(Node.Args[0]->Name))
+              PT.EnvSource[I] = true;
+            break;
+          case BuiltinKind::None: {
+            int CalleeIdx = Mod.procIndex(Node.Callee);
+            if (Node.Target && CalleeIdx >= 0 &&
+                Result.Procs[CalleeIdx].TaintedReturn)
+              PT.EnvSource[I] = true;
+            break;
+          }
+          default:
+            break;
+          }
+        }
+
+        // Does this node read an environment-defined value?
+        if (DF.usesUnknown(I)) {
+          Seed[I] = true;
+          continue;
+        }
+        for (const std::string &V : DF.uses(I)) {
+          if (Mod.findGlobal(V)) {
+            if (Result.TaintedGlobals.count(V)) {
+              Seed[I] = true;
+              break;
+            }
+            continue;
+          }
+          std::string Qual = Proc.Name + "::" + V;
+          if (Result.CrossWritten.count(Qual)) {
+            Seed[I] = true;
+            break;
+          }
+          int ParamIdx = Proc.paramIndex(V);
+          if (ParamIdx >= 0 && PT.TaintedParams[ParamIdx] &&
+              DF.paramEntryReaches(static_cast<NodeId>(I), V)) {
+            Seed[I] = true;
+            break;
+          }
+          if (Options.CoarseMode && Result.EverTainted.count(Qual)) {
+            Seed[I] = true;
+            break;
+          }
+        }
+        if (!Seed[I]) {
+          for (const std::string &Q : DF.crossUses(I))
+            if (Result.EverTainted.count(Q)) {
+              Seed[I] = true;
+              break;
+            }
+        }
+      }
+
+      // --- Propagate over define-use arcs: N_I --------------------------
+      std::fill(PT.InNI.begin(), PT.InNI.end(), false);
+      std::deque<NodeId> Work;
+      for (size_t I = 0; I != N; ++I) {
+        if (Seed[I]) {
+          PT.InNI[I] = true;
+          Work.push_back(static_cast<NodeId>(I));
+        }
+      }
+      // Definitions performed by env sources taint their users.
+      for (size_t I = 0; I != N; ++I) {
+        if (!PT.EnvSource[I])
+          continue;
+        for (const auto &[To, Var] : DF.duSuccessors(static_cast<NodeId>(I)))
+          if (!PT.InNI[To]) {
+            PT.InNI[To] = true;
+            Work.push_back(To);
+          }
+      }
+      while (!Work.empty()) {
+        NodeId Id = Work.front();
+        Work.pop_front();
+        for (const auto &[To, Var] : DF.duSuccessors(Id)) {
+          if (!PT.InNI[To]) {
+            PT.InNI[To] = true;
+            Work.push_back(To);
+          }
+        }
+      }
+
+      // --- V_I(n) --------------------------------------------------------
+      for (size_t I = 0; I != N; ++I) {
+        PT.VI[I].clear();
+        if (!PT.InNI[I])
+          continue;
+        for (const std::string &V : DF.uses(I)) {
+          bool Tainted = false;
+          if (Mod.findGlobal(V)) {
+            Tainted = Result.TaintedGlobals.count(V) != 0;
+          } else {
+            std::string Qual = Proc.Name + "::" + V;
+            int ParamIdx = Proc.paramIndex(V);
+            Tainted =
+                Result.CrossWritten.count(Qual) ||
+                (ParamIdx >= 0 && PT.TaintedParams[ParamIdx] &&
+                 DF.paramEntryReaches(static_cast<NodeId>(I), V)) ||
+                (Options.CoarseMode && Result.EverTainted.count(Qual));
+          }
+          if (!Tainted) {
+            for (const auto &[From, Var] :
+                 DF.duPredecessors(static_cast<NodeId>(I))) {
+              if (Var == V && (PT.InNI[From] || PT.EnvSource[From])) {
+                Tainted = true;
+                break;
+              }
+            }
+          }
+          if (Tainted)
+            PT.VI[I].insert(V);
+        }
+      }
+
+      // --- Export summaries ----------------------------------------------
+      for (size_t I = 0; I != N; ++I) {
+        const CfgNode &Node = Proc.Nodes[I];
+        bool NodeTainted = PT.InNI[I] || PT.EnvSource[I];
+
+        // Tainted definitions flow into the cross-procedure sets.
+        if (NodeTainted || (Options.CoarseMode && PT.InNI[I])) {
+          for (const VarDef &D : DF.defs(static_cast<NodeId>(I))) {
+            if (Mod.findGlobal(D.Name))
+              Result.TaintedGlobals.insert(D.Name);
+            else
+              Result.EverTainted.insert(Proc.Name + "::" + D.Name);
+            if (D.Name == retValName())
+              PT.TaintedReturn = true;
+          }
+        }
+        if (NodeTainted) {
+          for (const std::string &Q : DF.crossDefs(static_cast<NodeId>(I))) {
+            Result.CrossWritten.insert(Q);
+            Result.EverTainted.insert(Q);
+          }
+        }
+
+        if (Node.Kind != CfgNodeKind::Call)
+          continue;
+        switch (Node.Builtin) {
+        case BuiltinKind::None: {
+          int CalleeIdx = Mod.procIndex(Node.Callee);
+          if (CalleeIdx < 0)
+            break;
+          ProcTaint &Callee = Result.Procs[CalleeIdx];
+          for (size_t A = 0,
+                      AE = std::min(Node.Args.size(),
+                                    Callee.TaintedParams.size());
+               A != AE; ++A) {
+            if (Result.exprTainted(Mod, *Alias, P, static_cast<NodeId>(I),
+                                   Node.Args[A].get()))
+              Callee.TaintedParams[A] = true;
+          }
+          break;
+        }
+        case BuiltinKind::Send:
+          if (Node.Args.size() == 2 &&
+              Result.exprTainted(Mod, *Alias, P, static_cast<NodeId>(I),
+                                 Node.Args[1].get()))
+            Result.TaintedChannels.insert(Node.Args[0]->Name);
+          break;
+        case BuiltinKind::SharedWrite:
+          if (Node.Args.size() == 2 &&
+              Result.exprTainted(Mod, *Alias, P, static_cast<NodeId>(I),
+                                 Node.Args[1].get()))
+            Result.TaintedShared.insert(Node.Args[0]->Name);
+          break;
+        default:
+          break;
+        }
+      }
+
+      // Exported parameter taint also marks values as ever-tainted for
+      // cross-procedure pointer reads.
+      for (size_t A = 0, AE = Proc.Params.size(); A != AE; ++A)
+        if (PT.TaintedParams[A])
+          Result.EverTainted.insert(Proc.Name + "::" + Proc.Params[A]);
+    }
+
+    Footprint Now = footprint(Result);
+    if (Now == Prev)
+      break;
+    Prev = Now;
+  }
+}
+
+bool EnvAnalysis::moduleIsClosed() const {
+  for (const ProcessDecl &Inst : Mod.Processes)
+    for (const ProcessArg &Arg : Inst.Args)
+      if (Arg.IsEnv)
+        return false;
+  for (size_t P = 0, E = Mod.Procs.size(); P != E; ++P) {
+    const ProcCfg &Proc = Mod.Procs[P];
+    for (size_t I = 0, N = Proc.Nodes.size(); I != N; ++I) {
+      const CfgNode &Node = Proc.Nodes[I];
+      if (Node.Kind == CfgNodeKind::Call &&
+          (Node.Builtin == BuiltinKind::EnvInput ||
+           Node.Builtin == BuiltinKind::EnvOutput))
+        return false;
+      if (!Result.Procs[P].InNI[I])
+        continue;
+      // A visible-operation builtin may legitimately carry the residual
+      // `unknown` placeholder in a closed program (the payload was
+      // eliminated but the operation is preserved); anything else in N_I
+      // means environment data still influences the program.
+      bool ResidualOk = Node.Kind == CfgNodeKind::Call &&
+                        Node.Builtin != BuiltinKind::None &&
+                        Node.Builtin != BuiltinKind::VsToss &&
+                        builtinInfo(Node.Builtin).IsVisible;
+      if (!ResidualOk)
+        return false;
+    }
+  }
+  return true;
+}

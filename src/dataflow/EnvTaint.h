@@ -1,0 +1,122 @@
+//===- EnvTaint.h - Environment-input (taint) analysis ---------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Step 2 of the paper's closing algorithm (Figure 1), extended to whole
+/// programs. For every procedure it computes:
+///
+///  * N_Es — nodes that use the value of a variable defined by the
+///    environment E_S;
+///  * N_I  — nodes reachable from N_Es by define-use arcs;
+///  * V_I(n) — for each node, the used variables that are defined by E_S or
+///    label a define-use arc from an N_I node (Lemma 1's sound
+///    over-approximation of functional dependence on the environment).
+///
+/// The paper assumes "for each input i in I_j it is possible to determine
+/// whether i is also in I_S ... manual, or automatic in the form of an
+/// interprocedural analysis on top of our intraprocedural analysis". This
+/// is the automatic form: a fixpoint over the call graph and the
+/// communication topology that infers
+///
+///  * which parameters may be bound to environment data (env process
+///    arguments; tainted call arguments),
+///  * which returned values are environment-dependent,
+///  * which globals, channels and shared variables may carry environment
+///    data (a send of a tainted payload taints every receive on that
+///    channel — without this the transformed program would not be closed),
+///  * which variables may be written environment data through pointers
+///    from other procedures (consulted flow-insensitively, the
+///    "interprocedural issues" conservatism of §5).
+///
+/// The environment's sources are: `env` process arguments, `env_input()`
+/// calls, and the `unknown` literal (present only in already-closed code).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_DATAFLOW_ENVTAINT_H
+#define CLOSER_DATAFLOW_ENVTAINT_H
+
+#include "cfg/Cfg.h"
+#include "dataflow/AliasAnalysis.h"
+#include "dataflow/DefUse.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace closer {
+
+/// Analysis knobs (ablations for experiment E8).
+struct TaintOptions {
+  /// Coarse mode: once a procedure sees any environment input, every
+  /// variable it defines is treated as environment-defined (no define-use
+  /// flow sensitivity). Sound but far less precise; quantifies what the
+  /// paper's define-use analysis buys.
+  bool CoarseMode = false;
+};
+
+/// Per-procedure taint facts (parallel to Module::Procs).
+struct ProcTaint {
+  std::vector<bool> InNI;      ///< n ∈ N_I.
+  std::vector<bool> EnvSource; ///< the definition performed by n carries
+                               ///< environment data (env_input, tainted
+                               ///< recv/read, tainted-return call).
+  std::vector<std::set<std::string>> VI; ///< V_I(n).
+  std::vector<bool> TaintedParams;
+  bool TaintedReturn = false;
+};
+
+/// Whole-module taint facts.
+struct TaintResult {
+  std::vector<ProcTaint> Procs;
+  std::set<std::string> TaintedGlobals;
+  std::set<std::string> TaintedChannels;
+  std::set<std::string> TaintedShared;
+  /// Qualified variables that may be *written* environment data through a
+  /// pointer from another procedure (flow-insensitive).
+  std::set<std::string> CrossWritten;
+  /// Qualified variables that may *hold* environment data at some point
+  /// (consulted by cross-procedure pointer reads).
+  std::set<std::string> EverTainted;
+
+  /// True when an argument expression of node \p N in procedure \p ProcIdx
+  /// is environment-dependent.
+  bool exprTainted(const Module &Mod, const AliasAnalysis &Alias,
+                   size_t ProcIdx, NodeId N, const Expr *E) const;
+};
+
+/// The analysis pipeline shared by closing and clients: alias analysis,
+/// per-procedure define-use graphs, and the taint fixpoint.
+class EnvAnalysis {
+public:
+  explicit EnvAnalysis(const Module &Mod, TaintOptions Options = {});
+
+  const Module &module() const { return Mod; }
+  const AliasAnalysis &alias() const { return *Alias; }
+  const ProcDataflow &dataflow(size_t ProcIdx) const {
+    return *Dataflows[ProcIdx];
+  }
+  const TaintResult &taint() const { return Result; }
+
+  /// True when the module has no environment interface left (every
+  /// procedure's N_I is empty and there are no env_input/env_output nodes
+  /// or env process arguments) — Lemma 5's closedness criterion.
+  bool moduleIsClosed() const;
+
+private:
+  void runFixpoint(TaintOptions Options);
+
+  const Module &Mod;
+  std::unique_ptr<AliasAnalysis> Alias;
+  std::vector<std::unique_ptr<ProcDataflow>> Dataflows;
+  TaintResult Result;
+};
+
+} // namespace closer
+
+#endif // CLOSER_DATAFLOW_ENVTAINT_H

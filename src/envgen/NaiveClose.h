@@ -1,0 +1,55 @@
+//===- NaiveClose.h - Naive most-general-environment closing ---*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline the paper argues against (§3): closing an open system by
+/// pairing it with an explicit most general environment E_S that supplies
+/// *every possible input value* — here restricted to the finite domain
+/// [0, DomainBound], since the unrestricted environment is infinitely
+/// branching and not executable at all.
+///
+/// Concretely the rewrite keeps all of S's logic and materializes E_S's
+/// choices in place:
+///
+///  * `x = env_input()`            becomes `x = VS_toss(DomainBound)`;
+///  * `env_output(e)`              becomes a sink assignment (E_S accepts
+///                                 any output);
+///  * `process P = f(env, ...)`    gains a wrapper procedure that tosses
+///                                 the environment-provided arguments.
+///
+/// The result is closed and explorable, but its state space grows with the
+/// input domain — experiment E3 quantifies the contrast with the paper's
+/// transformation, whose state space is domain-independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_ENVGEN_NAIVECLOSE_H
+#define CLOSER_ENVGEN_NAIVECLOSE_H
+
+#include "cfg/Cfg.h"
+
+namespace closer {
+
+struct NaiveCloseOptions {
+  /// Environment inputs range over [0, DomainBound].
+  int64_t DomainBound = 1;
+};
+
+/// Statistics for one naive closing run.
+struct NaiveCloseStats {
+  size_t EnvInputsRewritten = 0;
+  size_t EnvOutputsRewritten = 0;
+  size_t WrappersSynthesized = 0;
+};
+
+/// Returns the naive closed form of \p Mod.
+Module naiveCloseModule(const Module &Mod, const NaiveCloseOptions &Options,
+                        NaiveCloseStats *Stats = nullptr);
+
+} // namespace closer
+
+#endif // CLOSER_ENVGEN_NAIVECLOSE_H

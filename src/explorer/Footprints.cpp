@@ -1,0 +1,58 @@
+//===- Footprints.cpp - Static communication-object footprints -------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "explorer/Footprints.h"
+
+using namespace closer;
+
+FootprintAnalysis::FootprintAnalysis(const Module &Mod)
+    : NumObjects(Mod.Comms.size()) {
+  PerNode.resize(Mod.Procs.size());
+  for (size_t P = 0, E = Mod.Procs.size(); P != E; ++P)
+    PerNode[P].assign(Mod.Procs[P].Nodes.size(), ObjSet(NumObjects));
+
+  // Round-robin to a global fixpoint; footprints only grow and are bounded
+  // by the object count, so this terminates quickly.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t P = 0, PE = Mod.Procs.size(); P != PE; ++P) {
+      const ProcCfg &Proc = Mod.Procs[P];
+      // Reverse order converges faster on forward-shaped graphs.
+      for (size_t R = Proc.Nodes.size(); R != 0; --R) {
+        NodeId Id = static_cast<NodeId>(R - 1);
+        const CfgNode &Node = Proc.Nodes[Id];
+        ObjSet &F = PerNode[P][Id];
+
+        if (Node.Kind == CfgNodeKind::Call) {
+          if (Node.Builtin == BuiltinKind::None) {
+            int Callee = Mod.procIndex(Node.Callee);
+            if (Callee >= 0)
+              Changed |= F.unionWith(
+                  PerNode[Callee][Mod.Procs[Callee].Entry]);
+          } else if (builtinInfo(Node.Builtin).TakesObject) {
+            int Obj = Mod.commIndex(Node.Args[0]->Name);
+            if (Obj >= 0 && !F.test(static_cast<size_t>(Obj))) {
+              F.set(static_cast<size_t>(Obj));
+              Changed = true;
+            }
+          }
+        }
+        for (const CfgArc &Arc : Node.Arcs)
+          Changed |= F.unionWith(PerNode[P][Arc.Target]);
+      }
+    }
+  }
+}
+
+ObjSet FootprintAnalysis::processFootprint(
+    const std::vector<std::pair<int, NodeId>> &Frames) const {
+  ObjSet Result(NumObjects);
+  for (const auto &[ProcIdx, Node] : Frames)
+    Result.unionWith(objectsFrom(ProcIdx, Node));
+  return Result;
+}

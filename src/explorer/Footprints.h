@@ -1,0 +1,103 @@
+//===- Footprints.h - Static communication-object footprints ---*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// For every control point (procedure, node) of a module, the set of
+/// communication objects any execution continuing from that point may ever
+/// operate on. This is the static input the partial-order reduction uses to
+/// build persistent sets ([God96]): two processes whose remaining
+/// footprints are disjoint can never interact again, so their transitions
+/// commute.
+///
+/// Computed as a backward fixpoint over the interprocedural control flow:
+/// footprint(n) = ownObject(n) ∪ ⋃_succ footprint(succ) ∪ footprint(callee
+/// entry) for call nodes. Call nodes conservatively include their
+/// continuation (the callee returns into it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_EXPLORER_FOOTPRINTS_H
+#define CLOSER_EXPLORER_FOOTPRINTS_H
+
+#include "cfg/Cfg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace closer {
+
+/// A set of communication-object indices, packed as bits.
+class ObjSet {
+public:
+  ObjSet() = default;
+  explicit ObjSet(size_t NumObjects)
+      : Words((NumObjects + 63) / 64, 0) {}
+
+  void set(size_t Index) { Words[Index / 64] |= 1ull << (Index % 64); }
+  bool test(size_t Index) const {
+    return (Words[Index / 64] >> (Index % 64)) & 1;
+  }
+
+  /// Union-in; returns true when this set grew.
+  bool unionWith(const ObjSet &Other) {
+    bool Grew = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Before = Words[I];
+      Words[I] |= Other.Words[I];
+      Grew |= Words[I] != Before;
+    }
+    return Grew;
+  }
+
+  bool intersects(const ObjSet &Other) const {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & Other.Words[I])
+        return true;
+    return false;
+  }
+
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  friend bool operator==(const ObjSet &A, const ObjSet &B) {
+    return A.Words == B.Words;
+  }
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+class FootprintAnalysis {
+public:
+  explicit FootprintAnalysis(const Module &Mod);
+
+  /// Objects possibly operated on from (\p ProcIdx, \p Node) onward within
+  /// the same frame and below.
+  const ObjSet &objectsFrom(int ProcIdx, NodeId Node) const {
+    return PerNode[ProcIdx][Node];
+  }
+
+  /// Footprint of a whole process given its frame stack (outermost first):
+  /// the union over frames, since outer frames resume after inner ones
+  /// return.
+  ObjSet processFootprint(
+      const std::vector<std::pair<int, NodeId>> &Frames) const;
+
+  size_t objectCount() const { return NumObjects; }
+
+private:
+  size_t NumObjects;
+  std::vector<std::vector<ObjSet>> PerNode; ///< [proc][node].
+};
+
+} // namespace closer
+
+#endif // CLOSER_EXPLORER_FOOTPRINTS_H

@@ -1,0 +1,143 @@
+//===- Replay.cpp - Deterministic scenario replay ----------------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "explorer/Replay.h"
+
+#include <sstream>
+
+using namespace closer;
+
+std::string closer::replayToString(const std::vector<ReplayStep> &Steps) {
+  std::string Out;
+  for (const ReplayStep &S : Steps) {
+    if (!Out.empty())
+      Out += ' ';
+    switch (S.K) {
+    case ReplayStep::Kind::Sched:
+      Out += 's';
+      break;
+    case ReplayStep::Kind::Toss:
+      Out += 't';
+      break;
+    case ReplayStep::Kind::Env:
+      Out += 'e';
+      break;
+    }
+    Out += std::to_string(S.Value);
+  }
+  return Out;
+}
+
+bool closer::parseReplay(const std::string &Text,
+                         std::vector<ReplayStep> &Out) {
+  Out.clear();
+  std::istringstream In(Text);
+  std::string Token;
+  while (In >> Token) {
+    if (Token.size() < 2)
+      return false;
+    ReplayStep Step;
+    switch (Token[0]) {
+    case 's':
+      Step.K = ReplayStep::Kind::Sched;
+      break;
+    case 't':
+      Step.K = ReplayStep::Kind::Toss;
+      break;
+    case 'e':
+      Step.K = ReplayStep::Kind::Env;
+      break;
+    default:
+      return false;
+    }
+    char *End = nullptr;
+    Step.Value = std::strtoll(Token.c_str() + 1, &End, 10);
+    if (!End || *End != '\0')
+      return false;
+    Out.push_back(Step);
+  }
+  return true;
+}
+
+namespace {
+
+/// Feeds recorded toss/env choices; falls back to 0 (and marks the run
+/// unfaithful) when the recording runs dry or disagrees in kind.
+class StepProvider : public ChoiceProvider {
+public:
+  StepProvider(const std::vector<ReplayStep> &Steps, size_t &Cursor,
+               bool &Faithful)
+      : Steps(Steps), Cursor(Cursor), Faithful(Faithful) {}
+
+  int64_t choose(ChoiceKind Kind, int64_t Bound) override {
+    ReplayStep::Kind Want = Kind == ChoiceKind::Toss ? ReplayStep::Kind::Toss
+                                                     : ReplayStep::Kind::Env;
+    if (Cursor >= Steps.size() || Steps[Cursor].K != Want) {
+      Faithful = false;
+      return 0;
+    }
+    int64_t V = Steps[Cursor++].Value;
+    if (V < 0 || V > Bound) {
+      Faithful = false;
+      return 0;
+    }
+    return V;
+  }
+
+private:
+  const std::vector<ReplayStep> &Steps;
+  size_t &Cursor;
+  bool &Faithful;
+};
+
+} // namespace
+
+ReplayResult closer::replayChoices(const Module &Mod,
+                                   const std::vector<ReplayStep> &Steps,
+                                   SystemOptions Options) {
+  ReplayResult Result;
+  size_t Cursor = 0;
+  StepProvider Provider(Steps, Cursor, Result.Faithful);
+
+  System Sys(Mod, Options);
+  ExecResult Init = Sys.reset(Provider);
+  Result.Violations = Init.Violations;
+  if (!Init.ok()) {
+    Result.Error = Init.Error;
+    Result.TraceOut = Sys.trace();
+    Result.Final = Sys.classify();
+    return Result;
+  }
+
+  while (Cursor < Steps.size()) {
+    const ReplayStep &Step = Steps[Cursor];
+    if (Step.K != ReplayStep::Kind::Sched) {
+      // A toss/env step at scheduling position: recording out of sync.
+      Result.Faithful = false;
+      break;
+    }
+    int P = static_cast<int>(Step.Value);
+    if (P < 0 || P >= Sys.processCount() || !Sys.processEnabled(P)) {
+      Result.Faithful = false;
+      break;
+    }
+    ++Cursor;
+    ExecResult R = Sys.executeTransition(P, Provider);
+    Result.Violations.insert(Result.Violations.end(), R.Violations.begin(),
+                             R.Violations.end());
+    if (!R.ok()) {
+      Result.Error = R.Error;
+      break;
+    }
+  }
+  if (Cursor != Steps.size())
+    Result.Faithful = false;
+
+  Result.TraceOut = Sys.trace();
+  Result.Final = Sys.classify();
+  return Result;
+}

@@ -1,0 +1,58 @@
+//===- Replay.h - Deterministic scenario replay ----------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VeriSoft "combines aspects of debugging and replay tools for concurrent
+/// systems with ... state-space exploration" (§1): because the runtime is
+/// deterministic given the choice sequence, any path — in particular any
+/// error report — can be replayed exactly. The explorer attaches the
+/// choice sequence to every report; replayChoices re-executes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_EXPLORER_REPLAY_H
+#define CLOSER_EXPLORER_REPLAY_H
+
+#include "runtime/System.h"
+
+#include <string>
+#include <vector>
+
+namespace closer {
+
+/// One recorded choice along a path.
+struct ReplayStep {
+  enum class Kind { Sched, Toss, Env };
+  Kind K = Kind::Sched;
+  int64_t Value = 0; ///< Process index (Sched) or chosen value (Toss/Env).
+};
+
+/// Renders "s0 t1 e0 s1 ..." — a compact, human-pasteable form.
+std::string replayToString(const std::vector<ReplayStep> &Steps);
+
+/// Parses the replayToString format; returns false on malformed input.
+bool parseReplay(const std::string &Text, std::vector<ReplayStep> &Out);
+
+/// Outcome of replaying a choice sequence.
+struct ReplayResult {
+  Trace TraceOut;
+  std::vector<AssertionViolation> Violations;
+  RunError Error;
+  GlobalStateKind Final = GlobalStateKind::HasEnabled;
+  /// True when the sequence was consumed exactly (no missing or surplus
+  /// choices) — a faithful reproduction.
+  bool Faithful = true;
+};
+
+/// Re-executes \p Mod under \p Steps.
+ReplayResult replayChoices(const Module &Mod,
+                           const std::vector<ReplayStep> &Steps,
+                           SystemOptions Options = {});
+
+} // namespace closer
+
+#endif // CLOSER_EXPLORER_REPLAY_H

@@ -1,0 +1,445 @@
+//===- Search.cpp - VeriSoft-style stateless state-space search ------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "explorer/Search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+#include <unordered_set>
+
+using namespace closer;
+
+std::string SearchStats::str() const {
+  std::string Out;
+  Out += "runs=" + std::to_string(Runs);
+  Out += " states=" + std::to_string(StatesVisited);
+  Out += " tree-transitions=" + std::to_string(TreeTransitions);
+  Out += " transitions=" + std::to_string(Transitions);
+  Out += " deadlocks=" + std::to_string(Deadlocks);
+  Out += " terminations=" + std::to_string(Terminations);
+  Out += " assertion-violations=" + std::to_string(AssertionViolations);
+  Out += " divergences=" + std::to_string(Divergences);
+  Out += " runtime-errors=" + std::to_string(RuntimeErrors);
+  Out += " depth-limit-hits=" + std::to_string(DepthLimitHits);
+  Out += " sleep-prunes=" + std::to_string(SleepSetPrunes);
+  Out += " hash-prunes=" + std::to_string(HashPrunes);
+  if (VisibleOpsTotal)
+    Out += " visible-op-coverage=" + std::to_string(VisibleOpsCovered) +
+           "/" + std::to_string(VisibleOpsTotal);
+  Out += Completed ? " (complete)" : " (budget exhausted)";
+  return Out;
+}
+
+std::string ErrorReport::str() const {
+  std::string Out;
+  switch (Kind) {
+  case Type::Deadlock:
+    Out = "deadlock";
+    break;
+  case Type::AssertionViolation:
+    Out = "assertion violation in process " + std::to_string(Process);
+    if (Loc.isValid())
+      Out += " at " + Loc.str();
+    break;
+  case Type::RuntimeError:
+    Out = "runtime error: " + Error.str();
+    break;
+  case Type::Divergence:
+    Out = "divergence: " + Error.str();
+    break;
+  }
+  Out += " (depth " + std::to_string(Depth) + ")\n";
+  Out += traceToString(TraceToError);
+  if (!Choices.empty())
+    Out += "replay: " + replayToString(Choices) + "\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// PathProvider
+//===----------------------------------------------------------------------===//
+
+/// Feeds recorded toss/env decisions back during replay and appends fresh
+/// ones (always choosing 0 first) when execution passes the recorded
+/// frontier.
+class Explorer::PathProvider : public ChoiceProvider {
+public:
+  PathProvider(std::vector<Decision> &Path, size_t &Cursor, size_t FreshFrom,
+               bool &FreshMode)
+      : Path(Path), Cursor(Cursor), FreshFrom(FreshFrom),
+        FreshMode(FreshMode) {}
+
+  int64_t choose(ChoiceKind Kind, int64_t Bound) override {
+    Decision::Kind DK = Kind == ChoiceKind::Toss ? Decision::Kind::Toss
+                                                 : Decision::Kind::Env;
+    if (Cursor < Path.size()) {
+      Decision &D = Path[Cursor];
+      assert(D.K == DK && D.Bound == Bound &&
+             "replay diverged from recorded choices (nondeterminism leak)");
+      if (Cursor >= FreshFrom)
+        FreshMode = true;
+      ++Cursor;
+      return static_cast<int64_t>(D.Chosen);
+    }
+    Decision D;
+    D.K = DK;
+    D.Bound = Bound;
+    D.Chosen = 0;
+    Path.push_back(std::move(D));
+    FreshMode = true;
+    ++Cursor;
+    return 0;
+  }
+
+private:
+  std::vector<Decision> &Path;
+  size_t &Cursor;
+  size_t FreshFrom;
+  bool &FreshMode;
+};
+
+//===----------------------------------------------------------------------===//
+// Explorer
+//===----------------------------------------------------------------------===//
+
+Explorer::Explorer(const Module &Mod, SearchOptions Options)
+    : Mod(Mod), Options(Options), Footprints(Mod),
+      Sys(Mod, Options.Runtime) {}
+
+void Explorer::report(ErrorReport R) {
+  if (Reports.size() < Options.MaxReports)
+    Reports.push_back(std::move(R));
+}
+
+/// The choices consumed so far in the current run, in replayable form.
+std::vector<ReplayStep> Explorer::currentChoices() const {
+  std::vector<ReplayStep> Out;
+  for (size_t I = 0; I < Cursor && I < Path.size(); ++I) {
+    const Decision &D = Path[I];
+    ReplayStep S;
+    switch (D.K) {
+    case Decision::Kind::Sched:
+      S.K = ReplayStep::Kind::Sched;
+      S.Value = D.Procs[D.Chosen];
+      break;
+    case Decision::Kind::Toss:
+      S.K = ReplayStep::Kind::Toss;
+      S.Value = static_cast<int64_t>(D.Chosen);
+      break;
+    case Decision::Kind::Env:
+      S.K = ReplayStep::Kind::Env;
+      S.Value = static_cast<int64_t>(D.Chosen);
+      break;
+    }
+    Out.push_back(S);
+  }
+  return Out;
+}
+
+/// Persistent-set computation: processes are partitioned into components of
+/// the "remaining footprints intersect" relation; any single component is a
+/// persistent set (no outside process can ever interact with it again).
+/// The component with the fewest enabled members is chosen.
+std::vector<int>
+Explorer::schedCandidates(const std::vector<int> &Enabled,
+                          const std::vector<int> &Sleep,
+                          const std::vector<int> & /*SleepObjs*/) {
+  std::vector<int> Base;
+  if (Options.UsePersistentSets && Sys.processCount() > 1) {
+    int N = Sys.processCount();
+    std::vector<ObjSet> Fp;
+    Fp.reserve(N);
+    for (int P = 0; P != N; ++P)
+      Fp.push_back(Footprints.processFootprint(Sys.frameStack(P)));
+
+    std::vector<int> Comp(N);
+    std::iota(Comp.begin(), Comp.end(), 0);
+    std::function<int(int)> Find = [&](int X) {
+      while (Comp[X] != X) {
+        Comp[X] = Comp[Comp[X]];
+        X = Comp[X];
+      }
+      return X;
+    };
+    for (int A = 0; A != N; ++A)
+      for (int B = A + 1; B != N; ++B)
+        if (Fp[A].intersects(Fp[B])) {
+          int Ra = Find(A), Rb = Find(B);
+          if (Ra != Rb)
+            Comp[Rb] = Ra;
+        }
+
+    // Pick the component with the fewest enabled processes (ties: the one
+    // containing the smallest process id) — a deterministic choice made
+    // independently of the sleep set, as the classic combination requires.
+    std::vector<int> BestMembers;
+    for (int Seed : Enabled) {
+      int Root = Find(Seed);
+      std::vector<int> Members;
+      for (int Q : Enabled)
+        if (Find(Q) == Root)
+          Members.push_back(Q);
+      if (BestMembers.empty() || Members.size() < BestMembers.size() ||
+          (Members.size() == BestMembers.size() &&
+           Members.front() < BestMembers.front()))
+        BestMembers = std::move(Members);
+    }
+    Base = std::move(BestMembers);
+  } else {
+    Base = Enabled;
+  }
+
+  if (Options.UseSleepSets) {
+    std::vector<int> Awake;
+    for (int P : Base)
+      if (std::find(Sleep.begin(), Sleep.end(), P) == Sleep.end())
+        Awake.push_back(P);
+    return Awake;
+  }
+  return Base;
+}
+
+bool Explorer::runOnce() {
+  Cursor = 0;
+  bool FreshMode = Path.empty();
+  size_t FreshFrom = 0;
+  // FreshFrom: index of the first decision not yet fully explored — the
+  // decision backtrack() just incremented, i.e. the last one in Path.
+  if (!Path.empty())
+    FreshFrom = Path.size() - 1;
+  PathProvider Provider(Path, Cursor, FreshFrom, FreshMode);
+
+  std::vector<int> CurSleep;
+
+  auto HandleExec = [&](const ExecResult &R) {
+    if (FreshMode) {
+      for (const AssertionViolation &V : R.Violations) {
+        ++Stats.AssertionViolations;
+        ErrorReport Rep;
+        Rep.Kind = ErrorReport::Type::AssertionViolation;
+        Rep.Depth = Sys.depth();
+        Rep.TraceToError = Sys.trace();
+        Rep.Choices = currentChoices();
+        Rep.Loc = V.Loc;
+        Rep.Process = V.Process;
+        report(std::move(Rep));
+        if (Options.StopOnFirstError)
+          StopFlag = true;
+      }
+      if (R.Error) {
+        ErrorReport Rep;
+        Rep.Depth = Sys.depth();
+        Rep.TraceToError = Sys.trace();
+        Rep.Choices = currentChoices();
+        Rep.Error = R.Error;
+        Rep.Process = R.Error.Process;
+        if (R.Error.Kind == RunErrorKind::Divergence) {
+          ++Stats.Divergences;
+          Rep.Kind = ErrorReport::Type::Divergence;
+        } else {
+          ++Stats.RuntimeErrors;
+          Rep.Kind = ErrorReport::Type::RuntimeError;
+        }
+        report(std::move(Rep));
+        if (Options.StopOnFirstError)
+          StopFlag = true;
+      }
+    }
+  };
+
+  ExecResult Init = Sys.reset(Provider);
+  HandleExec(Init);
+  if (StopFlag)
+    return false;
+
+  auto RecordLeafTrace = [&] {
+    if (!TraceSink || TraceSink->size() >= TraceSinkCap)
+      return;
+    TraceSink->push_back(Sys.trace());
+  };
+
+  for (;;) {
+    bool AtPathEnd = Cursor >= Path.size();
+    std::vector<int> Enabled = Sys.enabledProcesses();
+
+    if (AtPathEnd) {
+      FreshMode = true;
+      ++Stats.StatesVisited;
+      if (Options.MaxStates && Stats.StatesVisited >= Options.MaxStates) {
+        StopFlag = true;
+        return false;
+      }
+      if (Options.UseStateHashing) {
+        if (!SeenHashes.insert(Sys.fingerprint()).second) {
+          ++Stats.HashPrunes;
+          RecordLeafTrace();
+          return true;
+        }
+      }
+      if (Enabled.empty()) {
+        if (Sys.classify() == GlobalStateKind::Deadlock) {
+          ++Stats.Deadlocks;
+          ErrorReport Rep;
+          Rep.Kind = ErrorReport::Type::Deadlock;
+          Rep.Depth = Sys.depth();
+          Rep.TraceToError = Sys.trace();
+          Rep.Choices = currentChoices();
+          report(std::move(Rep));
+          if (Options.StopOnFirstError && Options.DeadlockIsError)
+            StopFlag = true;
+        } else {
+          ++Stats.Terminations;
+        }
+        RecordLeafTrace();
+        return !StopFlag;
+      }
+      if (Sys.depth() >= Options.MaxDepth) {
+        ++Stats.DepthLimitHits;
+        RecordLeafTrace();
+        return true;
+      }
+      std::vector<int> Candidates = schedCandidates(Enabled, CurSleep, {});
+      if (Candidates.empty()) {
+        ++Stats.SleepSetPrunes;
+        RecordLeafTrace();
+        return true;
+      }
+      Decision D;
+      D.K = Decision::Kind::Sched;
+      D.Procs = std::move(Candidates);
+      D.Sleep = CurSleep;
+      D.Chosen = 0;
+      Path.push_back(std::move(D));
+    } else if (Enabled.empty() || Sys.depth() >= Options.MaxDepth) {
+      // A replay should never end early (execution is deterministic given
+      // the recorded choices); be defensive rather than crash.
+      assert(false && "replay diverged: path continues past a leaf");
+      return true;
+    }
+
+    Decision &D = Path[Cursor];
+    assert(D.K == Decision::Kind::Sched && "expected a scheduling decision");
+    if (Cursor >= FreshFrom)
+      FreshMode = true;
+    ++Cursor;
+    int Chosen = D.Procs[D.Chosen];
+
+    // Sleep-set propagation: processes already covered stay asleep across
+    // independent transitions; earlier siblings of this decision go to
+    // sleep in this subtree.
+    std::vector<int> NewSleep;
+    int ChosenObj = Sys.currentVisibleObject(Chosen);
+    auto Independent = [&](int Q) {
+      int QObj = Sys.currentVisibleObject(Q);
+      return QObj < 0 || ChosenObj < 0 || QObj != ChosenObj;
+    };
+    for (int Q : D.Sleep)
+      if (Q != Chosen && Independent(Q))
+        NewSleep.push_back(Q);
+    for (size_t S = 0; S < D.Chosen; ++S) {
+      int Q = D.Procs[S];
+      if (Q != Chosen && Independent(Q) &&
+          std::find(NewSleep.begin(), NewSleep.end(), Q) == NewSleep.end())
+        NewSleep.push_back(Q);
+    }
+
+    if (Options.TrackCoverage) {
+      std::vector<std::pair<int, NodeId>> FS = Sys.frameStack(Chosen);
+      if (!FS.empty())
+        CoveredOps.insert((static_cast<uint64_t>(FS.back().first) << 32) |
+                          FS.back().second);
+    }
+    ExecResult R = Sys.executeTransition(Chosen, Provider);
+    ++Stats.Transitions;
+    if (FreshMode)
+      ++Stats.TreeTransitions;
+    HandleExec(R);
+    if (StopFlag)
+      return false;
+    CurSleep = std::move(NewSleep);
+  }
+}
+
+bool Explorer::backtrack() {
+  while (!Path.empty()) {
+    Decision &D = Path.back();
+    if (D.Chosen + 1 < D.optionCount()) {
+      ++D.Chosen;
+      return true;
+    }
+    Path.pop_back();
+  }
+  return false;
+}
+
+SearchStats Explorer::run() {
+  Stats = SearchStats();
+  Reports.clear();
+  SeenHashes.clear();
+  CoveredOps.clear();
+  Path.clear();
+  StopFlag = false;
+
+  for (;;) {
+    bool Continue = runOnce();
+    ++Stats.Runs;
+    if (!Continue || StopFlag)
+      break;
+    if (Options.MaxRuns && Stats.Runs >= Options.MaxRuns)
+      break;
+    if (!backtrack()) {
+      Stats.Completed = true;
+      break;
+    }
+  }
+
+  if (Options.TrackCoverage) {
+    for (const ProcCfg &Proc : Mod.Procs)
+      for (const CfgNode &Node : Proc.Nodes)
+        Stats.VisibleOpsTotal += Node.isVisibleOp();
+    Stats.VisibleOpsCovered = CoveredOps.size();
+  }
+  return Stats;
+}
+
+std::vector<std::pair<std::string, NodeId>>
+Explorer::uncoveredVisibleOps() const {
+  std::vector<std::pair<std::string, NodeId>> Out;
+  for (size_t P = 0, E = Mod.Procs.size(); P != E; ++P) {
+    const ProcCfg &Proc = Mod.Procs[P];
+    for (size_t I = 0, N = Proc.Nodes.size(); I != N; ++I) {
+      if (!Proc.Nodes[I].isVisibleOp())
+        continue;
+      uint64_t Key = (static_cast<uint64_t>(P) << 32) | I;
+      if (!CoveredOps.count(Key))
+        Out.push_back({Proc.Name, static_cast<NodeId>(I)});
+    }
+  }
+  return Out;
+}
+
+std::vector<Trace> Explorer::collectTraces(size_t MaxTraces) {
+  std::vector<Trace> Sink;
+  TraceSink = &Sink;
+  TraceSinkCap = MaxTraces * 4; // Collect with headroom, dedup below.
+  run();
+  TraceSink = nullptr;
+
+  std::vector<Trace> Unique;
+  std::unordered_set<std::string> Seen;
+  for (Trace &T : Sink) {
+    std::string Key = traceToString(T);
+    if (Seen.insert(std::move(Key)).second) {
+      Unique.push_back(std::move(T));
+      if (Unique.size() >= MaxTraces)
+        break;
+    }
+  }
+  return Unique;
+}

@@ -1,0 +1,174 @@
+//===- Search.h - VeriSoft-style stateless state-space search --*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Systematic exploration of a closed system's global state space in the
+/// style of VeriSoft [God97]:
+///
+///  * the search is *stateless*: no visited state is stored; alternative
+///    paths are explored by re-executing the system from its initial state
+///    under a recorded sequence of choices (scheduling choices at global
+///    states, VS_toss outcomes, and — when driving a still-open module —
+///    environment choices over a finite domain);
+///  * depth-bounded DFS guarantees complete coverage of the state space up
+///    to the bound;
+///  * partial-order reduction: persistent sets derived from static
+///    communication footprints (processes whose remaining footprints are
+///    disjoint can never interact) plus sleep sets, as in [God96];
+///  * deadlocks, assertion violations, divergences and runtime errors are
+///    reported with their full visible trace.
+///
+/// A state-hashing mode (store fingerprints, prune revisits) is provided as
+/// an ablation of the stateless design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_EXPLORER_SEARCH_H
+#define CLOSER_EXPLORER_SEARCH_H
+
+#include "explorer/Footprints.h"
+#include "explorer/Replay.h"
+#include "runtime/System.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace closer {
+
+struct SearchOptions {
+  /// Maximum transitions along one path (the paper's "complete coverage of
+  /// the state space up to some depth").
+  size_t MaxDepth = 60;
+  /// Hard budget on replays (0 = unlimited).
+  uint64_t MaxRuns = 0;
+  /// Hard budget on fresh tree states (0 = unlimited).
+  uint64_t MaxStates = 0;
+  bool UsePersistentSets = true;
+  bool UseSleepSets = true;
+  /// Ablation: store state fingerprints and prune revisits.
+  bool UseStateHashing = false;
+  bool StopOnFirstError = false;
+  /// Treat deadlocks as errors for StopOnFirstError purposes.
+  bool DeadlockIsError = true;
+  /// Maximum error reports retained.
+  size_t MaxReports = 64;
+  /// Track which visible operations (CFG call sites) the search exercised
+  /// — a test-adequacy metric for the paper's "lightweight testing
+  /// platform" use (§6).
+  bool TrackCoverage = true;
+  SystemOptions Runtime;
+};
+
+struct SearchStats {
+  uint64_t Runs = 0;             ///< Completed path replays.
+  uint64_t Transitions = 0;      ///< Transitions executed, incl. replays.
+  uint64_t TreeTransitions = 0;  ///< Distinct search-tree edges.
+  uint64_t StatesVisited = 0;    ///< Distinct tree nodes (global states).
+  uint64_t Deadlocks = 0;
+  uint64_t Terminations = 0;
+  uint64_t AssertionViolations = 0;
+  uint64_t Divergences = 0;
+  uint64_t RuntimeErrors = 0;
+  uint64_t DepthLimitHits = 0;
+  uint64_t SleepSetPrunes = 0;
+  uint64_t HashPrunes = 0;
+  /// Visible-operation call sites executed at least once / total in the
+  /// module (0/0 when coverage tracking is off).
+  uint64_t VisibleOpsCovered = 0;
+  uint64_t VisibleOpsTotal = 0;
+  bool Completed = false; ///< Search exhausted the (bounded) tree.
+
+  std::string str() const;
+};
+
+/// One reported problem, with the visible trace that leads to it and the
+/// choice sequence that reproduces it (see explorer/Replay.h).
+struct ErrorReport {
+  enum class Type { Deadlock, AssertionViolation, RuntimeError, Divergence };
+  Type Kind;
+  size_t Depth = 0;
+  Trace TraceToError;
+  std::vector<ReplayStep> Choices; ///< Feed to replayChoices to reproduce.
+  RunError Error;    ///< RuntimeError / Divergence details.
+  SourceLoc Loc;     ///< Assertion location.
+  int Process = -1;
+
+  std::string str() const;
+};
+
+class Explorer {
+public:
+  Explorer(const Module &Mod, SearchOptions Options = {});
+
+  /// Runs the exploration to completion (or budget exhaustion).
+  SearchStats run();
+
+  const std::vector<ErrorReport> &reports() const { return Reports; }
+
+  /// Statistics of the most recent run()/collectTraces() invocation.
+  const SearchStats &stats() const { return Stats; }
+
+  /// Visible-operation call sites never exercised by the last run, as
+  /// (procedure name, node id) pairs — the blind spots of the search.
+  std::vector<std::pair<std::string, NodeId>> uncoveredVisibleOps() const;
+
+  /// Convenience: all distinct visible traces of leaves reached, capped at
+  /// \p MaxTraces. Used by the trace-inclusion property tests.
+  std::vector<Trace> collectTraces(size_t MaxTraces);
+
+private:
+  struct Decision {
+    enum class Kind { Sched, Toss, Env };
+    Kind K = Kind::Sched;
+    // Sched:
+    std::vector<int> Procs; ///< Candidate processes, in exploration order.
+    std::vector<int> Sleep; ///< Sleep set on entry (process indices).
+    std::vector<int> SleepObjs; ///< Their pending objects at entry.
+    // Toss/Env:
+    int64_t Bound = 0;
+    size_t Chosen = 0;
+
+    size_t optionCount() const {
+      return K == Kind::Sched ? Procs.size()
+                              : static_cast<size_t>(Bound) + 1;
+    }
+  };
+
+  class PathProvider;
+
+  /// Executes one full path following (and extending) Path. Returns false
+  /// when the global stop condition triggered.
+  bool runOnce();
+  bool backtrack();
+  std::vector<ReplayStep> currentChoices() const;
+  std::vector<int> schedCandidates(const std::vector<int> &Enabled,
+                                   const std::vector<int> &Sleep,
+                                   const std::vector<int> &SleepObjs);
+  void report(ErrorReport R);
+  bool stopRequested() const { return StopFlag; }
+
+  const Module &Mod;
+  SearchOptions Options;
+  FootprintAnalysis Footprints;
+  System Sys;
+  std::vector<Decision> Path;
+  size_t Cursor = 0;
+  SearchStats Stats;
+  std::vector<ErrorReport> Reports;
+  std::unordered_set<uint64_t> SeenHashes;
+  /// Covered visible sites, packed as ProcIdx * 2^32 + NodeId.
+  std::unordered_set<uint64_t> CoveredOps;
+  bool StopFlag = false;
+  std::vector<Trace> *TraceSink = nullptr;
+  size_t TraceSinkCap = 0;
+};
+
+} // namespace closer
+
+#endif // CLOSER_EXPLORER_SEARCH_H

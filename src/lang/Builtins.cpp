@@ -1,0 +1,49 @@
+//===- Builtins.cpp - MiniC builtin operations ----------------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Builtins.h"
+
+#include <cassert>
+
+using namespace closer;
+
+// Indexed by BuiltinKind; keep in sync with the enum order.
+static const BuiltinInfo Builtins[] = {
+    {BuiltinKind::None, "", 0, false, false, false, CommKind::Channel},
+    {BuiltinKind::Send, "send", 2, false, true, true, CommKind::Channel},
+    {BuiltinKind::Recv, "recv", 1, true, true, true, CommKind::Channel},
+    {BuiltinKind::SemWait, "sem_wait", 1, false, true, true,
+     CommKind::Semaphore},
+    {BuiltinKind::SemSignal, "sem_signal", 1, false, true, true,
+     CommKind::Semaphore},
+    {BuiltinKind::SharedWrite, "write", 2, false, true, true,
+     CommKind::SharedVar},
+    {BuiltinKind::SharedRead, "read", 1, true, true, true,
+     CommKind::SharedVar},
+    {BuiltinKind::VsToss, "VS_toss", 1, true, false, false, CommKind::Channel},
+    {BuiltinKind::VsAssert, "VS_assert", 1, false, true, false,
+     CommKind::Channel},
+    {BuiltinKind::EnvInput, "env_input", 0, true, false, false,
+     CommKind::Channel},
+    {BuiltinKind::EnvOutput, "env_output", 1, false, false, false,
+     CommKind::Channel},
+    {BuiltinKind::Halt, "halt", 0, false, true, false, CommKind::Channel},
+};
+
+const BuiltinInfo &closer::lookupBuiltin(const std::string &Name) {
+  for (const BuiltinInfo &Info : Builtins)
+    if (Info.Kind != BuiltinKind::None && Name == Info.Name)
+      return Info;
+  return Builtins[0];
+}
+
+const BuiltinInfo &closer::builtinInfo(BuiltinKind Kind) {
+  assert(Kind != BuiltinKind::None && "no descriptor for None");
+  const BuiltinInfo &Info = Builtins[static_cast<unsigned>(Kind)];
+  assert(Info.Kind == Kind && "builtin table out of sync with enum");
+  return Info;
+}

@@ -1,0 +1,79 @@
+//===- Builtins.h - MiniC builtin operations -------------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The builtin operations of MiniC. Three families:
+///
+///  * Visible operations on communication objects (send/recv on FIFO
+///    channels, sem_wait/sem_signal on semaphores, read/write on shared
+///    variables) plus VS_assert. Per the paper's framework, visible
+///    operations are the only potentially-blocking operations and their
+///    enabledness depends exclusively on the operation history of the
+///    object, never on data values.
+///
+///  * VS_toss(n): the invisible nondeterministic operation returning a value
+///    in [0, n]; the scheduler explores each outcome.
+///
+///  * The open interface: env_input() produces a value supplied by the
+///    environment E_S; env_output(e) hands a value to the environment.
+///    These are what the closing transformation eliminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_LANG_BUILTINS_H
+#define CLOSER_LANG_BUILTINS_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace closer {
+
+enum class BuiltinKind {
+  None, ///< Not a builtin (a user procedure).
+  Send,
+  Recv,
+  SemWait,
+  SemSignal,
+  SharedWrite,
+  SharedRead,
+  VsToss,
+  VsAssert,
+  EnvInput,
+  EnvOutput,
+  Halt, ///< Visible, never enabled: parks the process forever. Also models
+        ///< control points whose every successor was eliminated by the
+        ///< closing transformation (invisible divergence in the original).
+};
+
+/// Static description of one builtin.
+struct BuiltinInfo {
+  BuiltinKind Kind = BuiltinKind::None;
+  const char *Name = "";
+  unsigned Arity = 0;
+  bool HasResult = false;   ///< May appear as an assignment RHS.
+  bool IsVisible = false;   ///< Operation on a communication object (or
+                            ///< VS_assert); defines a process transition
+                            ///< boundary and may block.
+  bool TakesObject = false; ///< First argument names a communication object.
+  CommKind ObjectKind = CommKind::Channel; ///< Valid when TakesObject.
+};
+
+/// Looks up \p Name; returns the BuiltinKind::None entry if not a builtin.
+const BuiltinInfo &lookupBuiltin(const std::string &Name);
+
+/// Returns the descriptor for \p Kind. \p Kind must not be None.
+const BuiltinInfo &builtinInfo(BuiltinKind Kind);
+
+/// True if \p Name collides with a builtin (user procedures must not).
+inline bool isBuiltinName(const std::string &Name) {
+  return lookupBuiltin(Name).Kind != BuiltinKind::None;
+}
+
+} // namespace closer
+
+#endif // CLOSER_LANG_BUILTINS_H

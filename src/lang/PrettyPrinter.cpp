@@ -1,0 +1,290 @@
+//===- PrettyPrinter.cpp - MiniC source emission ---------------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/PrettyPrinter.h"
+
+#include "lang/Lexer.h"
+
+#include <cassert>
+#include <string>
+
+using namespace closer;
+
+namespace {
+
+/// Binding strength used to decide parenthesization; higher binds tighter.
+int precedence(const Expr *E) {
+  switch (E->Kind) {
+  case ExprKind::Binary:
+    switch (E->BOp) {
+    case BinaryOp::Or:
+      return 1;
+    case BinaryOp::And:
+      return 2;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      return 3;
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      return 4;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return 5;
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      return 6;
+    }
+    return 0;
+  case ExprKind::Unary:
+  case ExprKind::Deref:
+  case ExprKind::AddrOf:
+    return 7;
+  default:
+    return 8; // Primaries never need parens.
+  }
+}
+
+const char *binaryOpText(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+std::string printSub(const Expr *Parent, const Expr *Child) {
+  std::string Text = printExpr(Child);
+  if (precedence(Child) < precedence(Parent))
+    return "(" + Text + ")";
+  return Text;
+}
+
+std::string indentText(unsigned Indent) {
+  return std::string(2 * Indent, ' ');
+}
+
+std::string printIntLit(int64_t Value) {
+  const AtomTable &Atoms = AtomTable::global();
+  if (Atoms.isAtom(Value))
+    return "'" + Atoms.spelling(Value) + "'";
+  return std::to_string(Value);
+}
+
+} // namespace
+
+std::string closer::printExpr(const Expr *E) {
+  assert(E && "printing a null expression");
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return printIntLit(E->IntValue);
+  case ExprKind::Unknown:
+    return "unknown";
+  case ExprKind::VarRef:
+    return E->Name;
+  case ExprKind::ArrayIndex:
+    return E->Name + "[" + printExpr(E->Lhs.get()) + "]";
+  case ExprKind::Unary:
+    return std::string(E->UOp == UnaryOp::Neg ? "-" : "!") +
+           printSub(E, E->Lhs.get());
+  case ExprKind::Deref:
+    return "*" + printSub(E, E->Lhs.get());
+  case ExprKind::AddrOf:
+    return "&" + printExpr(E->Lhs.get());
+  case ExprKind::Binary: {
+    std::string Lhs = printSub(E, E->Lhs.get());
+    std::string Rhs = printExpr(E->Rhs.get());
+    // Right operand needs parens at equal precedence (left associativity).
+    if (precedence(E->Rhs.get()) <= precedence(E))
+      Rhs = "(" + Rhs + ")";
+    return Lhs + " " + binaryOpText(E->BOp) + " " + Rhs;
+  }
+  case ExprKind::Call: {
+    std::string Out = E->Name + "(";
+    for (size_t I = 0, N = E->Args.size(); I != N; ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(E->Args[I].get());
+    }
+    return Out + ")";
+  }
+  }
+  return "<bad-expr>";
+}
+
+std::string closer::printStmt(const Stmt *S, unsigned Indent) {
+  if (!S)
+    return "";
+  std::string Pad = indentText(Indent);
+  switch (S->Kind) {
+  case StmtKind::VarDecl: {
+    std::string Out = Pad + "var " + S->Name;
+    if (S->ArraySize >= 0)
+      Out += "[" + std::to_string(S->ArraySize) + "]";
+    if (S->Cond)
+      Out += " = " + printExpr(S->Cond.get());
+    return Out + ";\n";
+  }
+  case StmtKind::Assign:
+    return Pad + printExpr(S->Target.get()) + " = " +
+           printExpr(S->Value.get()) + ";\n";
+  case StmtKind::ExprCall:
+    return Pad + printExpr(S->Value.get()) + ";\n";
+  case StmtKind::If: {
+    std::string Out =
+        Pad + "if (" + printExpr(S->Cond.get()) + ")\n";
+    Out += printStmt(S->ThenBody.get(),
+                     S->ThenBody->Kind == StmtKind::Block ? Indent
+                                                          : Indent + 1);
+    if (S->ElseBody) {
+      Out += Pad + "else\n";
+      Out += printStmt(S->ElseBody.get(),
+                       S->ElseBody->Kind == StmtKind::Block ? Indent
+                                                            : Indent + 1);
+    }
+    return Out;
+  }
+  case StmtKind::While: {
+    std::string Out = Pad + "while (" + printExpr(S->Cond.get()) + ")\n";
+    Out += printStmt(S->ThenBody.get(),
+                     S->ThenBody->Kind == StmtKind::Block ? Indent
+                                                          : Indent + 1);
+    return Out;
+  }
+  case StmtKind::For: {
+    std::string Init, Step;
+    if (S->InitStmt) {
+      Init = printStmt(S->InitStmt.get(), 0);
+      // Strip trailing ";\n" back to an inline clause.
+      while (!Init.empty() && (Init.back() == '\n' || Init.back() == ';'))
+        Init.pop_back();
+    }
+    if (S->StepStmt) {
+      Step = printStmt(S->StepStmt.get(), 0);
+      while (!Step.empty() && (Step.back() == '\n' || Step.back() == ';'))
+        Step.pop_back();
+    }
+    std::string Out = Pad + "for (" + Init + "; " +
+                      (S->Cond ? printExpr(S->Cond.get()) : "") + "; " + Step +
+                      ")\n";
+    Out += printStmt(S->ThenBody.get(),
+                     S->ThenBody->Kind == StmtKind::Block ? Indent
+                                                          : Indent + 1);
+    return Out;
+  }
+  case StmtKind::Switch: {
+    std::string Out = Pad + "switch (" + printExpr(S->Cond.get()) + ") {\n";
+    for (const SwitchCase &Arm : S->Cases) {
+      Out += indentText(Indent) + "case " + printIntLit(Arm.Value) + ":\n";
+      for (const StmtPtr &Sub : Arm.Body)
+        Out += printStmt(Sub.get(), Indent + 1);
+    }
+    if (S->HasDefault) {
+      Out += indentText(Indent) + "default:\n";
+      for (const StmtPtr &Sub : S->DefaultBody)
+        Out += printStmt(Sub.get(), Indent + 1);
+    }
+    return Out + Pad + "}\n";
+  }
+  case StmtKind::Return:
+    if (S->Cond)
+      return Pad + "return " + printExpr(S->Cond.get()) + ";\n";
+    return Pad + "return;\n";
+  case StmtKind::Break:
+    return Pad + "break;\n";
+  case StmtKind::Continue:
+    return Pad + "continue;\n";
+  case StmtKind::Goto:
+    return Pad + "goto " + S->Name + ";\n";
+  case StmtKind::Label:
+    return Pad + S->Name + ":\n" + printStmt(S->ThenBody.get(), Indent);
+  case StmtKind::Block: {
+    std::string Out = Pad + "{\n";
+    for (const StmtPtr &Sub : S->Body)
+      Out += printStmt(Sub.get(), Indent + 1);
+    return Out + Pad + "}\n";
+  }
+  case StmtKind::Empty:
+    return Pad + ";\n";
+  }
+  return Pad + "<bad-stmt>\n";
+}
+
+std::string closer::printProgram(const Program &Prog) {
+  std::string Out;
+  for (const CommDecl &C : Prog.Comms) {
+    switch (C.Kind) {
+    case CommKind::Channel:
+      Out += "chan " + C.Name + "[" + std::to_string(C.Param) + "];\n";
+      break;
+    case CommKind::Semaphore:
+      Out += "sem " + C.Name + "(" + std::to_string(C.Param) + ");\n";
+      break;
+    case CommKind::SharedVar:
+      Out += "shared " + C.Name +
+             (C.Param ? " = " + std::to_string(C.Param) : "") + ";\n";
+      break;
+    }
+  }
+  for (const GlobalDecl &G : Prog.Globals) {
+    Out += "var " + G.Name;
+    if (G.ArraySize >= 0)
+      Out += "[" + std::to_string(G.ArraySize) + "]";
+    if (G.Init)
+      Out += " = " + std::to_string(G.Init);
+    Out += ";\n";
+  }
+  if (!Out.empty())
+    Out += "\n";
+  for (const ProcDecl &P : Prog.Procs) {
+    Out += "proc " + P.Name + "(";
+    for (size_t I = 0, N = P.Params.size(); I != N; ++I) {
+      if (I)
+        Out += ", ";
+      Out += P.Params[I].Name;
+    }
+    Out += ")\n";
+    Out += printStmt(P.Body.get(), 0);
+    Out += "\n";
+  }
+  for (const ProcessDecl &P : Prog.Processes) {
+    Out += "process " + P.Name + " = " + P.ProcName + "(";
+    for (size_t I = 0, N = P.Args.size(); I != N; ++I) {
+      if (I)
+        Out += ", ";
+      Out += P.Args[I].IsEnv ? "env" : printIntLit(P.Args[I].Value);
+    }
+    Out += ");\n";
+  }
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- PrettyPrinter.h - MiniC source emission -----------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders MiniC ASTs (and individual expressions) back to source text. The
+/// output reparses to an equivalent program; round-tripping is covered by
+/// the parser tests. Atom-valued integer literals are rendered back in
+/// quoted form when the atom table knows their spelling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_LANG_PRETTYPRINTER_H
+#define CLOSER_LANG_PRETTYPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace closer {
+
+/// Renders an expression as source text, parenthesized as needed.
+std::string printExpr(const Expr *E);
+
+/// Renders a statement subtree with \p Indent leading double-space units.
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+/// Renders a whole program.
+std::string printProgram(const Program &Prog);
+
+} // namespace closer
+
+#endif // CLOSER_LANG_PRETTYPRINTER_H

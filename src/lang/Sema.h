@@ -1,0 +1,43 @@
+//===- Sema.h - MiniC semantic analysis ------------------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic validation for MiniC programs. MiniC is untyped at the value
+/// level (everything is an integer or an address), so "sema" enforces the
+/// structural discipline the paper's framework assumes:
+///
+///  * names: procedures/comm objects/globals unique; one namespace per
+///    procedure (no shadowing — every variable name denotes a single memory
+///    location per activation, which keeps the define-use analysis per-name
+///    sound);
+///  * communication objects are only touched through their builtins, and
+///    each builtin's object argument names an object of the right kind;
+///  * calls appear only in statement position or as the entire right-hand
+///    side of an assignment (the paper's statement taxonomy);
+///  * builtins are used with correct arity and result-ness;
+///  * break/continue appear inside loops; goto targets exist; labels are
+///    unique per procedure;
+///  * process declarations reference existing procedures with matching
+///    arity; recursion is permitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_LANG_SEMA_H
+#define CLOSER_LANG_SEMA_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace closer {
+
+/// Validates \p Prog, reporting problems to \p Diags.
+/// \returns true when the program is semantically well-formed.
+bool checkProgram(const Program &Prog, DiagnosticEngine &Diags);
+
+} // namespace closer
+
+#endif // CLOSER_LANG_SEMA_H

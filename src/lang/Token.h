@@ -1,0 +1,102 @@
+//===- Token.h - MiniC token definitions -----------------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the MiniC lexer. MiniC is the small imperative
+/// language (a C subset with pointers, arrays, procedures and communication
+/// builtins) on which the closing transformation operates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_LANG_TOKEN_H
+#define CLOSER_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace closer {
+
+enum class TokenKind {
+  // Sentinels.
+  Eof,
+  Invalid,
+
+  // Literals and identifiers.
+  IntLiteral,
+  StringLiteral,
+  Identifier,
+
+  // Keywords.
+  KwVar,
+  KwProc,
+  KwProcess,
+  KwChan,
+  KwSem,
+  KwShared,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwGoto,
+  KwEnv,
+  KwUnknown,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+
+  // Operators.
+  Assign,     // =
+  Plus,       // +
+  Minus,      // -
+  Star,       // *
+  Slash,      // /
+  Percent,    // %
+  Amp,        // &
+  Bang,       // !
+  EqEq,       // ==
+  BangEq,     // !=
+  Less,       // <
+  LessEq,     // <=
+  Greater,    // >
+  GreaterEq,  // >=
+  AmpAmp,     // &&
+  PipePipe,   // ||
+};
+
+/// Returns a human-readable spelling for diagnostics ("'=='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text holds the identifier spelling or string-literal
+/// contents (without quotes); IntValue holds the value of an IntLiteral.
+struct Token {
+  TokenKind Kind = TokenKind::Invalid;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace closer
+
+#endif // CLOSER_LANG_TOKEN_H

@@ -1,0 +1,250 @@
+//===- System.h - Concurrent-system runtime --------------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable semantics of the paper's §2 framework. A System instance
+/// holds a set of processes (each an interpreter over its procedure CFGs,
+/// with private globals and a private frame stack — processes share no
+/// memory) and the communication objects they synchronize through.
+///
+/// Execution follows the paper's transition model: a *process transition*
+/// is one visible operation followed by the finite sequence of invisible
+/// operations up to (but excluding) the next visible operation. The system
+/// is in a *global state* when every process is stopped at a visible
+/// operation (or halted). An external scheduler — the explorer — selects
+/// which enabled process executes its next transition, exactly like
+/// VeriSoft's scheduler process.
+///
+/// Nondeterminism (VS_toss, and environment choices when executing a
+/// still-open module) is routed through a ChoiceProvider so the explorer
+/// can enumerate and replay choice sequences; the runtime itself is
+/// deterministic given the provider.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_RUNTIME_SYSTEM_H
+#define CLOSER_RUNTIME_SYSTEM_H
+
+#include "cfg/Cfg.h"
+#include "runtime/Trace.h"
+#include "runtime/Value.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace closer {
+
+/// Supplies nondeterministic choices to the runtime.
+class ChoiceProvider {
+public:
+  enum class ChoiceKind {
+    Toss, ///< VS_toss(n) or a TossBranch outcome.
+    Env,  ///< env_input() or an `env` process argument (open modules only).
+  };
+
+  virtual ~ChoiceProvider() = default;
+
+  /// Returns a value in [0, Bound]. Bound >= 0.
+  virtual int64_t choose(ChoiceKind Kind, int64_t Bound) = 0;
+};
+
+/// A ChoiceProvider that always picks 0 (the deterministic "first path").
+class ZeroChoiceProvider : public ChoiceProvider {
+public:
+  int64_t choose(ChoiceKind, int64_t) override { return 0; }
+};
+
+struct SystemOptions {
+  /// Environment inputs range over [0, EnvDomainBound] when executing an
+  /// open module directly (this *is* the most general environment
+  /// restricted to a finite domain — the naive-closing baseline).
+  int64_t EnvDomainBound = 1;
+  /// Invisible operations allowed per transition before the runtime
+  /// reports a divergence (VeriSoft's timeout, made deterministic).
+  size_t InvisibleStepLimit = 100000;
+  /// Maximum frame-stack depth per process.
+  size_t StackLimit = 256;
+};
+
+enum class RunErrorKind {
+  None,
+  DivisionByZero,
+  BadPointer,       ///< Dereference of a non-pointer or dangling address.
+  IndexOutOfBounds,
+  UnknownInControl, ///< Branch/index depends on an unknown value: the
+                    ///< module was not properly closed.
+  Divergence,       ///< Invisible step limit exceeded.
+  StackOverflow,
+  BadTossBound,
+};
+
+struct RunError {
+  RunErrorKind Kind = RunErrorKind::None;
+  int Process = -1;
+  SourceLoc Loc;
+  std::string Message;
+
+  explicit operator bool() const { return Kind != RunErrorKind::None; }
+  std::string str() const;
+};
+
+/// An executed VS_assert whose expression evaluated to zero.
+struct AssertionViolation {
+  int Process = -1;
+  SourceLoc Loc;
+};
+
+/// Result of running one process transition (or the initialization run).
+struct ExecResult {
+  RunError Error;
+  std::vector<AssertionViolation> Violations;
+  bool ok() const { return !Error; }
+};
+
+/// Classification of a global state.
+enum class GlobalStateKind {
+  HasEnabled,  ///< At least one transition can execute.
+  Termination, ///< Every process halted (ran to completion).
+  Deadlock,    ///< No transition enabled but some process still waits.
+};
+
+class System {
+public:
+  /// Binds the runtime to \p Mod (kept by reference; must outlive the
+  /// System) and performs the initial reset with a ZeroChoiceProvider.
+  explicit System(const Module &Mod, SystemOptions Options = {});
+
+  /// Reinitializes to the initial global state s0: processes are created
+  /// and each runs its invisible prefix to its first visible operation.
+  /// Choices made during the prefix come from \p Provider.
+  ExecResult reset(ChoiceProvider &Provider);
+
+  int processCount() const { return static_cast<int>(Processes.size()); }
+
+  /// True when process \p P is stopped at a visible operation that is
+  /// currently enabled.
+  bool processEnabled(int P) const;
+
+  /// Indices of all enabled processes.
+  std::vector<int> enabledProcesses() const;
+
+  GlobalStateKind classify() const;
+
+  /// Executes one process transition of \p P (which must be enabled):
+  /// the visible operation plus the invisible run to the next visible
+  /// operation.
+  ExecResult executeTransition(int P, ChoiceProvider &Provider);
+
+  /// Visible events executed since the last reset.
+  const Trace &trace() const { return EventTrace; }
+
+  /// Number of transitions executed since the last reset (search depth).
+  size_t depth() const { return NumTransitions; }
+
+  //===--------------------------------------------------------------------===//
+  // Introspection for the explorer
+  //===--------------------------------------------------------------------===//
+
+  /// Index into Module.Comms of the object process \p P's pending visible
+  /// operation touches, or -1 (VS_assert, halt, or halted process).
+  int currentVisibleObject(int P) const;
+
+  /// The builtin of process \p P's pending visible operation, or None when
+  /// halted.
+  BuiltinKind currentVisibleOp(int P) const;
+
+  /// The frame stack of process \p P as (procedure index, node id) pairs,
+  /// outermost first — the input to the static footprint analysis.
+  std::vector<std::pair<int, NodeId>> frameStack(int P) const;
+
+  /// 64-bit FNV-1a fingerprint of the full global state (process control
+  /// points, stores, communication objects). Used by the state-hashing
+  /// ablation.
+  uint64_t fingerprint() const;
+
+  const Module &module() const { return Mod; }
+
+private:
+  struct Slot {
+    bool IsArray = false;
+    Value Scalar;
+    std::vector<Value> Elems;
+  };
+
+  /// Name -> slot index resolution, precomputed per procedure.
+  struct ProcLayout {
+    std::unordered_map<std::string, uint32_t> SlotOf;
+    std::vector<int64_t> ArraySizes; ///< Per slot; -1 scalar.
+    int RetValSlot = -1;
+  };
+
+  struct Frame {
+    int ProcIdx = -1;
+    NodeId PC = 0;
+    std::vector<Slot> Slots;
+  };
+
+  enum class ProcStatus { AtVisible, Halted };
+
+  struct ProcessRT {
+    ProcStatus Status = ProcStatus::Halted;
+    std::vector<Slot> Globals;
+    std::vector<Frame> Frames;
+  };
+
+  struct CommState {
+    CommKind Kind;
+    std::deque<Value> Items; ///< Channel contents.
+    int64_t Count = 0;       ///< Semaphore count.
+    Value Shared;            ///< Shared-variable value.
+  };
+
+  // Evaluation. On error, sets PendingError and returns a zero value;
+  // callers bail out when PendingError is set.
+  Value eval(ProcessRT &P, const Expr *E);
+  Value loadVar(ProcessRT &P, const std::string &Name);
+  Slot *resolveSlot(ProcessRT &P, const std::string &Name, Frame **OwnerFrame);
+  Value loadAddress(ProcessRT &P, const Address &A);
+  void storeAddress(ProcessRT &P, const Address &A, Value V);
+  bool addressOf(ProcessRT &P, const Expr *Place, Address &Out);
+  void store(ProcessRT &P, const Expr *Lvalue, Value V);
+  bool truthy(ProcessRT &P, const Value &V, SourceLoc Loc);
+
+  // Control flow.
+  void advanceAlways(ProcessRT &P);
+  void haltProcess(ProcessRT &P) {
+    P.Status = ProcStatus::Halted;
+    P.Frames.clear();
+  }
+  ExecResult runInvisible(int PIdx, ChoiceProvider &Provider);
+  void execVisible(int PIdx, ChoiceProvider &Provider, ExecResult &Result);
+
+  void fail(RunErrorKind Kind, SourceLoc Loc, const std::string &Message);
+
+  const CfgNode &currentNode(const ProcessRT &P) const {
+    const Frame &F = P.Frames.back();
+    return Mod.Procs[F.ProcIdx].Nodes[F.PC];
+  }
+
+  const Module &Mod;
+  SystemOptions Options;
+  std::vector<ProcLayout> Layouts; ///< Parallel to Mod.Procs.
+  std::vector<ProcessRT> Processes;
+  std::vector<CommState> Comms; ///< Parallel to Mod.Comms.
+  Trace EventTrace;
+  size_t NumTransitions = 0;
+  RunError PendingError;
+  int CurrentProcess = -1; ///< During execution, for error attribution.
+};
+
+} // namespace closer
+
+#endif // CLOSER_RUNTIME_SYSTEM_H

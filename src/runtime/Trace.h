@@ -1,0 +1,61 @@
+//===- Trace.h - Visible-operation traces ----------------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sequences of visible operations, the observable behavior Theorem 6
+/// relates between S x E_S and S'. Events carry their payload value; an
+/// unknown payload in the closed system matches any concrete payload of the
+/// open system (only environment-independent values are preserved).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_RUNTIME_TRACE_H
+#define CLOSER_RUNTIME_TRACE_H
+
+#include "lang/Builtins.h"
+#include "runtime/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace closer {
+
+/// One executed visible operation.
+struct VisibleEvent {
+  int ProcessIndex = 0;
+  BuiltinKind Op = BuiltinKind::None;
+  std::string Object;  ///< Communication object name; empty for VS_assert.
+  Value Payload;       ///< Sent/received/written/read/asserted value;
+                       ///< Int(0) for semaphore operations.
+  bool HasPayload = false;
+
+  std::string str() const;
+
+  /// Exact equality.
+  friend bool operator==(const VisibleEvent &A, const VisibleEvent &B) {
+    return A.ProcessIndex == B.ProcessIndex && A.Op == B.Op &&
+           A.Object == B.Object && A.HasPayload == B.HasPayload &&
+           (!A.HasPayload || A.Payload == B.Payload);
+  }
+};
+
+/// True when closed-system event \p General subsumes open-system event
+/// \p Concrete: identical up to payloads, where an unknown payload in
+/// \p General matches anything (Theorem 6's preservation relation).
+bool eventSubsumes(const VisibleEvent &General, const VisibleEvent &Concrete);
+
+using Trace = std::vector<VisibleEvent>;
+
+/// Lexicographic subsumption over whole traces.
+bool traceSubsumes(const Trace &General, const Trace &Concrete);
+
+/// Renders a trace one event per line.
+std::string traceToString(const Trace &T);
+
+} // namespace closer
+
+#endif // CLOSER_RUNTIME_TRACE_H

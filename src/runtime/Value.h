@@ -1,0 +1,103 @@
+//===- Value.h - Runtime values and addresses ------------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of MiniC processes. A value is an integer, an address
+/// (into the executing process's own memory — processes share no memory,
+/// only communication objects), or the distinguished *unknown* value left
+/// behind where the closing transformation eliminated environment data.
+///
+/// Unknown obeys a one-point taint lattice: arithmetic and comparisons
+/// involving unknown yield unknown; branching on unknown is a checked
+/// runtime error (a correctly closed program never does it — Lemma 5);
+/// asserting unknown passes (such assertions are "not preserved",
+/// Theorem 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_RUNTIME_VALUE_H
+#define CLOSER_RUNTIME_VALUE_H
+
+#include <cstdint>
+#include <string>
+
+namespace closer {
+
+/// Where an address points inside one process: a global slot or a slot of
+/// some stack frame.
+struct Address {
+  enum class Space : uint8_t { Global, Frame };
+  Space Sp = Space::Global;
+  uint32_t FrameIndex = 0; ///< Depth in the frame stack (Space::Frame).
+  uint32_t SlotIndex = 0;
+  int32_t ElemIndex = -1; ///< >= 0 when pointing into an array.
+
+  friend bool operator==(const Address &A, const Address &B) {
+    return A.Sp == B.Sp && A.FrameIndex == B.FrameIndex &&
+           A.SlotIndex == B.SlotIndex && A.ElemIndex == B.ElemIndex;
+  }
+};
+
+class Value {
+public:
+  enum class Kind : uint8_t { Int, Unknown, Pointer };
+
+  Value() : K(Kind::Int), Int(0) {}
+
+  static Value makeInt(int64_t V) {
+    Value Result;
+    Result.K = Kind::Int;
+    Result.Int = V;
+    return Result;
+  }
+  static Value makeUnknown() {
+    Value Result;
+    Result.K = Kind::Unknown;
+    return Result;
+  }
+  static Value makePointer(Address A) {
+    Value Result;
+    Result.K = Kind::Pointer;
+    Result.Addr = A;
+    return Result;
+  }
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isUnknown() const { return K == Kind::Unknown; }
+  bool isPointer() const { return K == Kind::Pointer; }
+
+  int64_t asInt() const { return Int; }
+  const Address &asPointer() const { return Addr; }
+
+  /// Structural equality (used by trace comparison and state hashing).
+  friend bool operator==(const Value &A, const Value &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case Kind::Int:
+      return A.Int == B.Int;
+    case Kind::Unknown:
+      return true;
+    case Kind::Pointer:
+      return A.Addr == B.Addr;
+    }
+    return false;
+  }
+
+  /// Renders "42", "'even'", "unknown" or "&[frame f slot s]".
+  std::string str() const;
+
+private:
+  Kind K;
+  int64_t Int = 0;
+  Address Addr;
+};
+
+} // namespace closer
+
+#endif // CLOSER_RUNTIME_VALUE_H

@@ -1,0 +1,60 @@
+//===- Random.h - Deterministic PRNG for tests and workloads ---*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, seedable xorshift64* generator used by the property-test program
+/// generator and the benchmark workload generators. Deterministic across
+/// platforms, unlike std::mt19937's distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_SUPPORT_RANDOM_H
+#define CLOSER_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace closer {
+
+/// xorshift64* PRNG. Never yields the all-zero state; seed 0 is remapped.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den != 0 && Num <= Den && "bad probability");
+    return below(Den) < Num;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace closer
+
+#endif // CLOSER_SUPPORT_RANDOM_H

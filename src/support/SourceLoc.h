@@ -1,0 +1,49 @@
+//===- SourceLoc.h - Source locations for diagnostics ---------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight 1-based line/column source positions attached to tokens, AST
+/// nodes and CFG nodes so that analyses and the closing transformation can
+/// report where things came from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_SUPPORT_SOURCELOC_H
+#define CLOSER_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace closer {
+
+/// A position in a MiniC source buffer. Line and column are 1-based; the
+/// default-constructed location is "unknown" (line 0).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+
+  /// Renders "line:col", or "<unknown>" for an invalid location.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace closer
+
+#endif // CLOSER_SUPPORT_SOURCELOC_H

@@ -1,0 +1,66 @@
+//===- SwitchApp.h - Synthetic call-processing application -----*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parameterized generator of MiniC source for a telephone
+/// call-processing application in the style of the paper's §6 case study
+/// (the Lucent 5ESS application providing "originations, terminations,
+/// location registration, hand over, roaming, and call forwarding"). The
+/// real application is proprietary; this synthetic substitute exercises the
+/// same code path: a multi-process reactive program, open at its
+/// environment interface (external telephony events and dialed digits
+/// arrive via env_input; tones/announcements leave via env_output), with
+/// process families communicating over FIFO channels, semaphores guarding
+/// trunk resources, and internal sanity assertions on resource counters.
+///
+/// Process families generated:
+///  * one *line handler* per subscriber line: reads external events,
+///    classifies them (origination / registration / handoff / release) and
+///    forwards protocol messages to the servers;
+///  * a *call router*: matches originations with trunk resources, tracks
+///    the active-call gauge, asserts it stays within bounds;
+///  * a *registration server* (optional): tracks registered lines;
+///  * a *handoff controller* (optional): re-homes calls between trunks;
+///  * a *forwarding agent* (optional): consults dialed digits (environment
+///    data!) to decide re-routing — after closing, this decision becomes a
+///    VS_toss.
+///
+/// A seedable trunk-leak bug (the handoff controller forgets to release a
+/// trunk on one path) makes the closed system deadlock — the kind of
+/// cross-process defect the paper's platform is meant to surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_SWITCHAPP_SWITCHAPP_H
+#define CLOSER_SWITCHAPP_SWITCHAPP_H
+
+#include <string>
+
+namespace closer {
+
+struct SwitchAppConfig {
+  int NumLines = 3;      ///< Line-handler processes.
+  int NumTrunks = 2;     ///< Trunk semaphore capacity.
+  int EventsPerLine = 2; ///< External events each handler consumes.
+  /// Number of distinct line-handler procedure variants (the 5ESS serves
+  /// different subscriber classes with different feature code); lines are
+  /// assigned round-robin. Scales the amount of *code* to close, not just
+  /// the process count.
+  int HandlerVariants = 1;
+  bool WithRegistration = true;
+  bool WithHandoff = true;
+  bool WithForwarding = true;
+  /// Seeds the trunk-leak bug in the handoff controller.
+  bool SeedTrunkLeakBug = false;
+};
+
+/// Generates the MiniC source of the application.
+std::string generateSwitchAppSource(const SwitchAppConfig &Config);
+
+} // namespace closer
+
+#endif // CLOSER_SWITCHAPP_SWITCHAPP_H

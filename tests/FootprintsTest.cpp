@@ -1,0 +1,170 @@
+//===- FootprintsTest.cpp - Static footprint analysis tests -----------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "explorer/Footprints.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace closer;
+
+namespace {
+
+TEST(ObjSetTest, BasicOperations) {
+  ObjSet A(130), B(130);
+  A.set(0);
+  A.set(64);
+  A.set(129);
+  EXPECT_TRUE(A.test(0));
+  EXPECT_TRUE(A.test(64));
+  EXPECT_TRUE(A.test(129));
+  EXPECT_FALSE(A.test(1));
+  EXPECT_FALSE(A.intersects(B));
+  B.set(64);
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_FALSE(B.empty());
+  EXPECT_TRUE(ObjSet(130).empty());
+
+  ObjSet C(130);
+  EXPECT_TRUE(C.unionWith(A));
+  EXPECT_FALSE(C.unionWith(A)) << "second union must not grow";
+  EXPECT_TRUE(C.test(129));
+}
+
+TEST(FootprintsTest, SequentialAccessesShrinkOverTime) {
+  auto Mod = mustCompile(R"(
+chan a[1];
+chan b[1];
+
+proc main() {
+  send(a, 1);
+  send(b, 2);
+}
+
+process m = main();
+)");
+  FootprintAnalysis FA(*Mod);
+  const ProcCfg &P = Mod->Procs[0];
+  int AIdx = Mod->commIndex("a");
+  int BIdx = Mod->commIndex("b");
+
+  // At entry, both objects are in the future.
+  const ObjSet &AtEntry = FA.objectsFrom(0, P.Entry);
+  EXPECT_TRUE(AtEntry.test(AIdx));
+  EXPECT_TRUE(AtEntry.test(BIdx));
+
+  // After the first send (at the second send node), only b remains.
+  for (size_t I = 0; I != P.Nodes.size(); ++I) {
+    const CfgNode &Node = P.Nodes[I];
+    if (Node.Kind == CfgNodeKind::Call && Node.Args.size() == 2 &&
+        Node.Args[0]->Name == "b") {
+      const ObjSet &AtB = FA.objectsFrom(0, static_cast<NodeId>(I));
+      EXPECT_FALSE(AtB.test(AIdx));
+      EXPECT_TRUE(AtB.test(BIdx));
+    }
+  }
+}
+
+TEST(FootprintsTest, LoopKeepsObjectsLive) {
+  auto Mod = mustCompile(R"(
+chan a[1];
+
+proc main() {
+  var i;
+  for (i = 0; i < 3; i = i + 1)
+    send(a, i);
+}
+
+process m = main();
+)");
+  FootprintAnalysis FA(*Mod);
+  const ProcCfg &P = Mod->Procs[0];
+  int AIdx = Mod->commIndex("a");
+  // Inside the loop (at the send itself) the channel stays in the future
+  // because of the back edge.
+  for (size_t I = 0; I != P.Nodes.size(); ++I)
+    if (P.Nodes[I].Kind == CfgNodeKind::Call) {
+      EXPECT_TRUE(FA.objectsFrom(0, static_cast<NodeId>(I)).test(AIdx));
+    }
+}
+
+TEST(FootprintsTest, CalleeObjectsIncludedAtCallSites) {
+  auto Mod = mustCompile(R"(
+chan deep[1];
+
+proc helper() {
+  send(deep, 1);
+}
+
+proc main() {
+  helper();
+}
+
+process m = main();
+)");
+  FootprintAnalysis FA(*Mod);
+  int MainIdx = Mod->procIndex("main");
+  int DeepIdx = Mod->commIndex("deep");
+  const ProcCfg &Main = *Mod->findProc("main");
+  EXPECT_TRUE(FA.objectsFrom(MainIdx, Main.Entry).test(DeepIdx));
+}
+
+TEST(FootprintsTest, RecursionConverges) {
+  auto Mod = mustCompile(R"(
+chan c[1];
+
+proc rec(n) {
+  if (n > 0)
+    rec(n - 1);
+  else
+    send(c, 0);
+}
+
+process m = rec(3);
+)");
+  FootprintAnalysis FA(*Mod);
+  int RecIdx = Mod->procIndex("rec");
+  EXPECT_TRUE(FA.objectsFrom(RecIdx, Mod->Procs[RecIdx].Entry)
+                  .test(Mod->commIndex("c")));
+}
+
+TEST(FootprintsTest, ProcessFootprintUnionsFrames) {
+  auto Mod = mustCompile(R"(
+chan inner[1];
+chan outer[1];
+
+proc leaf() {
+  send(inner, 1);
+}
+
+proc main() {
+  leaf();
+  send(outer, 2);
+}
+
+process m = main();
+)");
+  FootprintAnalysis FA(*Mod);
+  int MainIdx = Mod->procIndex("main");
+  int LeafIdx = Mod->procIndex("leaf");
+  // Simulate a stack: main suspended at its call node, leaf at its send.
+  NodeId CallNode = InvalidNode;
+  const ProcCfg &Main = *Mod->findProc("main");
+  for (size_t I = 0; I != Main.Nodes.size(); ++I)
+    if (Main.Nodes[I].Kind == CfgNodeKind::Call &&
+        Main.Nodes[I].Builtin == BuiltinKind::None)
+      CallNode = static_cast<NodeId>(I);
+  ASSERT_NE(CallNode, InvalidNode);
+
+  ObjSet Fp = FA.processFootprint(
+      {{MainIdx, CallNode}, {LeafIdx, Mod->Procs[LeafIdx].Entry}});
+  EXPECT_TRUE(Fp.test(Mod->commIndex("inner")));
+  EXPECT_TRUE(Fp.test(Mod->commIndex("outer")));
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+//===- ReplayTest.cpp - Deterministic scenario replay tests ------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "explorer/Replay.h"
+
+#include "explorer/Search.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace closer;
+
+namespace {
+
+TEST(ReplayTest, RoundTripSerialization) {
+  std::vector<ReplayStep> Steps = {
+      {ReplayStep::Kind::Env, 3},
+      {ReplayStep::Kind::Sched, 1},
+      {ReplayStep::Kind::Toss, 0},
+      {ReplayStep::Kind::Sched, 0},
+  };
+  std::string Text = replayToString(Steps);
+  EXPECT_EQ(Text, "e3 s1 t0 s0");
+
+  std::vector<ReplayStep> Parsed;
+  ASSERT_TRUE(parseReplay(Text, Parsed));
+  ASSERT_EQ(Parsed.size(), Steps.size());
+  for (size_t I = 0; I != Steps.size(); ++I) {
+    EXPECT_EQ(Parsed[I].K, Steps[I].K);
+    EXPECT_EQ(Parsed[I].Value, Steps[I].Value);
+  }
+}
+
+TEST(ReplayTest, ParseRejectsGarbage) {
+  std::vector<ReplayStep> Out;
+  EXPECT_FALSE(parseReplay("x1", Out));
+  EXPECT_FALSE(parseReplay("s", Out));
+  EXPECT_FALSE(parseReplay("s1b", Out));
+  EXPECT_TRUE(parseReplay("", Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(ReplayTest, DeadlockReportReplaysToTheSameDeadlock) {
+  auto Mod = mustCompile(R"(
+sem a(1);
+sem b(1);
+chan done[2];
+
+proc left() {
+  sem_wait(a);
+  sem_wait(b);
+  send(done, 1);
+  sem_signal(b);
+  sem_signal(a);
+}
+
+proc right() {
+  sem_wait(b);
+  sem_wait(a);
+  send(done, 2);
+  sem_signal(a);
+  sem_signal(b);
+}
+
+process l = left();
+process r = right();
+)");
+  SearchOptions Opts;
+  Opts.UsePersistentSets = false;
+  Opts.UseSleepSets = false;
+  Explorer Ex(*Mod, Opts);
+  Ex.run();
+  ASSERT_FALSE(Ex.reports().empty());
+  const ErrorReport &Rep = Ex.reports()[0];
+  ASSERT_EQ(Rep.Kind, ErrorReport::Type::Deadlock);
+  ASSERT_FALSE(Rep.Choices.empty());
+
+  ReplayResult R = replayChoices(*Mod, Rep.Choices);
+  EXPECT_TRUE(R.Faithful);
+  EXPECT_EQ(R.Final, GlobalStateKind::Deadlock);
+  EXPECT_EQ(traceToString(R.TraceOut), traceToString(Rep.TraceToError));
+}
+
+TEST(ReplayTest, AssertionReportReplaysToTheSameViolation) {
+  auto Mod = mustCompile(R"(
+chan c[4];
+
+proc main() {
+  var x;
+  x = VS_toss(3);
+  send(c, x);
+  VS_assert(x != 2);
+}
+
+process m = main();
+)");
+  SearchOptions Opts;
+  Opts.UsePersistentSets = false;
+  Opts.UseSleepSets = false;
+  Explorer Ex(*Mod, Opts);
+  Ex.run();
+  ASSERT_EQ(Ex.reports().size(), 1u);
+  const ErrorReport &Rep = Ex.reports()[0];
+
+  ReplayResult R = replayChoices(*Mod, Rep.Choices);
+  EXPECT_TRUE(R.Faithful);
+  ASSERT_EQ(R.Violations.size(), 1u);
+  // The offending toss outcome (2) is visible in the replayed trace.
+  ASSERT_FALSE(R.TraceOut.empty());
+  EXPECT_EQ(R.TraceOut[0].Payload, Value::makeInt(2));
+}
+
+TEST(ReplayTest, EnvChoicesReplayOnOpenModules) {
+  auto Mod = mustCompile(R"(
+chan c[4];
+
+proc main() {
+  var x;
+  x = env_input();
+  send(c, x);
+  VS_assert(x != 1);
+}
+
+process m = main();
+)");
+  SearchOptions Opts;
+  Opts.UsePersistentSets = false;
+  Opts.UseSleepSets = false;
+  Opts.Runtime.EnvDomainBound = 3;
+  Explorer Ex(*Mod, Opts);
+  Ex.run();
+  ASSERT_EQ(Ex.reports().size(), 1u);
+
+  SystemOptions SysOpts;
+  SysOpts.EnvDomainBound = 3;
+  ReplayResult R = replayChoices(*Mod, Ex.reports()[0].Choices, SysOpts);
+  EXPECT_TRUE(R.Faithful);
+  EXPECT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.TraceOut[0].Payload, Value::makeInt(1));
+}
+
+TEST(ReplayTest, UnfaithfulWhenChoicesDoNotFit) {
+  auto Mod = mustCompile(R"(
+chan c[2];
+
+proc main() {
+  send(c, 1);
+}
+
+process m = main();
+)");
+  // Schedule a process that does not exist.
+  ReplayResult R = replayChoices(*Mod, {{ReplayStep::Kind::Sched, 7}});
+  EXPECT_FALSE(R.Faithful);
+
+  // Toss step where a schedule is expected.
+  ReplayResult R2 = replayChoices(*Mod, {{ReplayStep::Kind::Toss, 0}});
+  EXPECT_FALSE(R2.Faithful);
+}
+
+TEST(ReplayTest, ReportRenderingIncludesReplayLine) {
+  auto Mod = mustCompile(R"(
+proc main() {
+  var x;
+  x = VS_toss(1);
+  VS_assert(x == 0);
+}
+
+process m = main();
+)");
+  Explorer Ex(*Mod, {});
+  Ex.run();
+  ASSERT_FALSE(Ex.reports().empty());
+  std::string Text = Ex.reports()[0].str();
+  EXPECT_NE(Text.find("replay: "), std::string::npos) << Text;
+}
+
+} // namespace

@@ -1,0 +1,346 @@
+//===- RuntimeEdgeTest.cpp - Runtime semantics edge cases --------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/System.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace closer;
+
+namespace {
+
+/// Runs to quiescence under the always-zero provider; returns the last
+/// transition's result.
+ExecResult runAll(System &Sys) {
+  ZeroChoiceProvider Zero;
+  ExecResult Last = Sys.reset(Zero);
+  while (!Last.Error) {
+    std::vector<int> Enabled = Sys.enabledProcesses();
+    if (Enabled.empty())
+      break;
+    Last = Sys.executeTransition(Enabled.front(), Zero);
+  }
+  return Last;
+}
+
+int64_t lastPayload(const System &Sys) {
+  EXPECT_FALSE(Sys.trace().empty());
+  return Sys.trace().back().Payload.asInt();
+}
+
+TEST(RuntimeEdgeTest, DanglingPointerIntoPoppedFrameIsCaught) {
+  auto Mod = mustCompile(R"(
+var escape;
+chan c[1];
+
+proc leak() {
+  var local = 5;
+  var p;
+  p = &local;
+  escape = 1;
+  stash(p);
+}
+
+proc stash(q) {
+  gptr = q;
+}
+
+var gptr;
+
+proc main() {
+  var v;
+  leak();
+  v = *gptr;
+  send(c, v);
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  ExecResult R = runAll(Sys);
+  ASSERT_TRUE(R.Error);
+  EXPECT_EQ(R.Error.Kind, RunErrorKind::BadPointer);
+}
+
+TEST(RuntimeEdgeTest, PointerIntoGlobalOutlivesFrames) {
+  auto Mod = mustCompile(R"(
+var cell;
+var gptr;
+chan c[1];
+
+proc setup() {
+  gptr = &cell;
+}
+
+proc main() {
+  var v;
+  setup();
+  *gptr = 99;
+  v = *gptr;
+  send(c, v);
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  ExecResult R = runAll(Sys);
+  EXPECT_FALSE(R.Error) << R.Error.str();
+  EXPECT_EQ(lastPayload(Sys), 99);
+}
+
+TEST(RuntimeEdgeTest, StackOverflowOnUnboundedRecursion) {
+  auto Mod = mustCompile(R"(
+proc spin(n) {
+  return spin(n + 1);
+}
+
+proc main() {
+  var v;
+  v = spin(0);
+}
+
+process m = main();
+)");
+  SystemOptions Opts;
+  Opts.StackLimit = 32;
+  System Sys(*Mod, Opts);
+  ZeroChoiceProvider Zero;
+  ExecResult R = Sys.reset(Zero);
+  ASSERT_TRUE(R.Error);
+  EXPECT_EQ(R.Error.Kind, RunErrorKind::StackOverflow);
+}
+
+TEST(RuntimeEdgeTest, ArithmeticSemantics) {
+  auto Mod = mustCompile(R"(
+chan c[16];
+
+proc main() {
+  send(c, -7 / 2);
+  send(c, -7 % 2);
+  send(c, !0);
+  send(c, !5);
+  send(c, -(3 - 8));
+  send(c, (2 < 3) + (3 < 2));
+  send(c, 1 && 0);
+  send(c, 1 || 0);
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  runAll(Sys);
+  const Trace &T = Sys.trace();
+  ASSERT_EQ(T.size(), 8u);
+  EXPECT_EQ(T[0].Payload.asInt(), -3); // C-style truncation.
+  EXPECT_EQ(T[1].Payload.asInt(), -1);
+  EXPECT_EQ(T[2].Payload.asInt(), 1);
+  EXPECT_EQ(T[3].Payload.asInt(), 0);
+  EXPECT_EQ(T[4].Payload.asInt(), 5);
+  EXPECT_EQ(T[5].Payload.asInt(), 1);
+  EXPECT_EQ(T[6].Payload.asInt(), 0);
+  EXPECT_EQ(T[7].Payload.asInt(), 1);
+}
+
+TEST(RuntimeEdgeTest, PointerEqualityComparesTargets) {
+  auto Mod = mustCompile(R"(
+chan c[4];
+
+proc main() {
+  var x;
+  var y;
+  var p;
+  var q;
+  p = &x;
+  q = &x;
+  send(c, p == q);
+  q = &y;
+  send(c, p == q);
+  send(c, p != q);
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  runAll(Sys);
+  const Trace &T = Sys.trace();
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Payload.asInt(), 1);
+  EXPECT_EQ(T[1].Payload.asInt(), 0);
+  EXPECT_EQ(T[2].Payload.asInt(), 1);
+}
+
+TEST(RuntimeEdgeTest, PointerArithmeticIsAnError) {
+  auto Mod = mustCompile(R"(
+proc main() {
+  var x;
+  var p;
+  var bad;
+  p = &x;
+  bad = p + 1;
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  ZeroChoiceProvider Zero;
+  ExecResult R = Sys.reset(Zero);
+  ASSERT_TRUE(R.Error);
+  EXPECT_EQ(R.Error.Kind, RunErrorKind::BadPointer);
+}
+
+TEST(RuntimeEdgeTest, UnknownPropagatesThroughArithmeticToPayloads) {
+  auto Mod = mustCompile(R"(
+chan c[4];
+
+proc main() {
+  var u = unknown;
+  send(c, u + 1);
+  send(c, u == 5);
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  ExecResult R = runAll(Sys);
+  EXPECT_FALSE(R.Error) << R.Error.str();
+  ASSERT_EQ(Sys.trace().size(), 2u);
+  EXPECT_TRUE(Sys.trace()[0].Payload.isUnknown());
+  EXPECT_TRUE(Sys.trace()[1].Payload.isUnknown());
+}
+
+TEST(RuntimeEdgeTest, UnknownArrayIndexIsAnError) {
+  auto Mod = mustCompile(R"(
+proc main() {
+  var a[3];
+  a[unknown] = 1;
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  ZeroChoiceProvider Zero;
+  ExecResult R = Sys.reset(Zero);
+  ASSERT_TRUE(R.Error);
+  EXPECT_EQ(R.Error.Kind, RunErrorKind::UnknownInControl);
+}
+
+TEST(RuntimeEdgeTest, NegativeTossBoundIsAnError) {
+  auto Mod = mustCompile(R"(
+proc main() {
+  var v;
+  var b = -2;
+  v = VS_toss(b);
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  ZeroChoiceProvider Zero;
+  ExecResult R = Sys.reset(Zero);
+  ASSERT_TRUE(R.Error);
+  EXPECT_EQ(R.Error.Kind, RunErrorKind::BadTossBound);
+}
+
+TEST(RuntimeEdgeTest, ChannelCapacityBlocksExactly) {
+  auto Mod = mustCompile(R"(
+chan c[2];
+
+proc main() {
+  send(c, 1);
+  send(c, 2);
+  send(c, 3);
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  ZeroChoiceProvider Zero;
+  Sys.reset(Zero);
+  EXPECT_TRUE(Sys.processEnabled(0));
+  Sys.executeTransition(0, Zero);
+  EXPECT_TRUE(Sys.processEnabled(0));
+  Sys.executeTransition(0, Zero);
+  // Third send blocks: channel full.
+  EXPECT_FALSE(Sys.processEnabled(0));
+  EXPECT_EQ(Sys.classify(), GlobalStateKind::Deadlock);
+}
+
+TEST(RuntimeEdgeTest, SemaphoreCountsAboveOne) {
+  auto Mod = mustCompile(R"(
+sem s(2);
+chan c[8];
+
+proc main() {
+  sem_wait(s);
+  sem_wait(s);
+  sem_signal(s);
+  sem_wait(s);
+  send(c, 'ok');
+  sem_wait(s);
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  runAll(Sys);
+  // The final wait blocks (count back to 0): classified deadlock. The
+  // semaphore operations are themselves visible, so the trace holds the
+  // three waits, the signal, and the send.
+  EXPECT_EQ(Sys.classify(), GlobalStateKind::Deadlock);
+  ASSERT_EQ(Sys.trace().size(), 5u);
+  EXPECT_EQ(Sys.trace()[4].Op, BuiltinKind::Send);
+  EXPECT_EQ(Sys.trace()[4].Payload.str(), "'ok'");
+}
+
+TEST(RuntimeEdgeTest, ArrayPassedByPointerElementwise) {
+  auto Mod = mustCompile(R"(
+chan c[4];
+
+proc bump(p) {
+  *p = *p + 100;
+}
+
+proc main() {
+  var a[3];
+  a[1] = 7;
+  bump(&a[1]);
+  send(c, a[1]);
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  ExecResult R = runAll(Sys);
+  EXPECT_FALSE(R.Error) << R.Error.str();
+  EXPECT_EQ(lastPayload(Sys), 107);
+}
+
+TEST(RuntimeEdgeTest, DepthCountsTransitionsNotStatements) {
+  auto Mod = mustCompile(R"(
+chan c[4];
+
+proc main() {
+  var i;
+  var acc = 0;
+  for (i = 0; i < 10; i = i + 1)
+    acc = acc + i;
+  send(c, acc);
+  send(c, acc * 2);
+}
+
+process m = main();
+)");
+  System Sys(*Mod);
+  runAll(Sys);
+  // 30+ invisible statements but only two transitions.
+  EXPECT_EQ(Sys.depth(), 2u);
+  EXPECT_EQ(lastPayload(Sys), 90);
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- SemaTest.cpp - MiniC semantic-analysis tests --------------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace closer;
+
+namespace {
+
+bool semaOf(const std::string &Source, std::string *Errors = nullptr) {
+  DiagnosticEngine Diags;
+  auto Prog = parseMiniC(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  if (!Prog)
+    return false;
+  bool Ok = checkProgram(*Prog, Diags);
+  if (Errors)
+    *Errors = Diags.str();
+  return Ok;
+}
+
+void expectSemaError(const std::string &Source, const std::string &Fragment) {
+  std::string Errors;
+  bool Ok = semaOf(Source, &Errors);
+  EXPECT_FALSE(Ok) << "expected a sema error mentioning '" << Fragment
+                   << "'";
+  EXPECT_NE(Errors.find(Fragment), std::string::npos)
+      << "got errors:\n" << Errors;
+}
+
+TEST(SemaTest, ValidProgramPasses) {
+  EXPECT_TRUE(semaOf(R"(
+chan c[2];
+sem s(1);
+shared sv;
+var g;
+
+proc helper(a) { return a + g; }
+
+proc main(x) {
+  var v;
+  v = helper(x);
+  send(c, v);
+  sem_wait(s);
+  v = recv(c);
+  write(sv, v);
+  v = read(sv);
+  sem_signal(s);
+  VS_assert(v == v);
+}
+
+process m = main(env);
+)"));
+}
+
+TEST(SemaTest, UndeclaredVariable) {
+  expectSemaError("proc f() { x = 1; }", "undeclared");
+}
+
+TEST(SemaTest, RedeclarationInSameProcedure) {
+  expectSemaError("proc f() { var x; var x; }", "redeclaration");
+}
+
+TEST(SemaTest, LocalMayNotShadowGlobal) {
+  expectSemaError("var g;\nproc f() { var g; }", "redeclaration");
+}
+
+TEST(SemaTest, CommObjectUsedAsVariable) {
+  expectSemaError("chan c[1];\nproc f() { var x; x = c; }",
+                  "communication object");
+}
+
+TEST(SemaTest, AssignToCommObject) {
+  expectSemaError("chan c[1];\nproc f() { c = 3; }", "builtins");
+}
+
+TEST(SemaTest, WrongObjectKindForBuiltin) {
+  expectSemaError("sem s(1);\nproc f() { var x; x = recv(s); }",
+                  "wrong communication-object kind");
+}
+
+TEST(SemaTest, BuiltinArity) {
+  expectSemaError("chan c[1];\nproc f() { send(c); }", "expects 2");
+}
+
+TEST(SemaTest, ResultlessBuiltinInRhs) {
+  expectSemaError("sem s(1);\nproc f() { var x; x = sem_wait(s); }",
+                  "produces no value");
+}
+
+TEST(SemaTest, NestedCallsRejected) {
+  expectSemaError("proc g(a) { return a; }\nproc f() { var x; x = g(g(1)); }",
+                  "right-hand side");
+}
+
+TEST(SemaTest, CallArityChecked) {
+  expectSemaError("proc g(a) { }\nproc f() { g(1, 2); }", "expects 1");
+}
+
+TEST(SemaTest, UndefinedProcedureCall) {
+  expectSemaError("proc f() { nope(); }", "undefined procedure");
+}
+
+TEST(SemaTest, BreakOutsideLoop) {
+  expectSemaError("proc f() { break; }", "outside");
+}
+
+TEST(SemaTest, ContinueOutsideLoop) {
+  expectSemaError("proc f() { continue; }", "outside");
+}
+
+TEST(SemaTest, GotoUndefinedLabel) {
+  expectSemaError("proc f() { goto nowhere; }", "undefined label");
+}
+
+TEST(SemaTest, DuplicateLabel) {
+  expectSemaError("proc f() { L: ; L: ; }", "duplicate label");
+}
+
+TEST(SemaTest, DuplicateCaseValue) {
+  expectSemaError(R"(
+proc f() {
+  var x = 0;
+  switch (x) {
+  case 1:
+    ;
+  case 1:
+    ;
+  }
+}
+)",
+                  "duplicate case");
+}
+
+TEST(SemaTest, ArrayUsedWithoutIndex) {
+  expectSemaError("proc f() { var a[2]; var x; x = a; }", "index");
+}
+
+TEST(SemaTest, IndexingNonArray) {
+  expectSemaError("proc f() { var x; var y; y = x[0]; }", "not an array");
+}
+
+TEST(SemaTest, AddressOfCommObject) {
+  expectSemaError("chan c[1];\nproc f() { var p; p = &c; }",
+                  "address");
+}
+
+TEST(SemaTest, ProcessArityMismatch) {
+  expectSemaError("proc f(a) { }\nprocess p = f();", "expects 1");
+}
+
+TEST(SemaTest, ProcessUndefinedProc) {
+  expectSemaError("process p = ghost();", "undefined procedure");
+}
+
+TEST(SemaTest, DuplicateTopLevelNames) {
+  expectSemaError("var x;\nchan x[1];\nproc f() { }", "redefinition");
+  expectSemaError("proc f() { }\nproc f() { }", "redefinition");
+}
+
+TEST(SemaTest, BuiltinNameCollision) {
+  expectSemaError("proc send(a) { }", "collides with a builtin");
+}
+
+TEST(SemaTest, DiscardedBuiltinResultWarnsButPasses) {
+  std::string Errors;
+  EXPECT_TRUE(semaOf("chan c[1];\nproc f() { recv(c); }", &Errors));
+  EXPECT_NE(Errors.find("discarded"), std::string::npos) << Errors;
+}
+
+TEST(SemaTest, GlobalsVisibleInAllProcs) {
+  EXPECT_TRUE(semaOf(R"(
+var shared_counter = 0;
+proc f() { shared_counter = shared_counter + 1; }
+proc g() { shared_counter = 0; }
+)"));
+}
+
+} // namespace

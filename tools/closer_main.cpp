@@ -1,0 +1,385 @@
+//===- closer_main.cpp - Command-line driver --------------------------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+//
+// The `closer` tool: the prototype described in the paper's abstract ("a
+// prototype tool for automatically closing open programs"), plus the
+// VeriSoft-style explorer as a subcommand.
+//
+//   closer close <file.mc>              close and print MiniC source
+//   closer cfg <file.mc> [proc]         print closed CFG listings
+//   closer dot <file.mc> <proc>         Graphviz of a closed procedure
+//   closer explore <file.mc> [options]  close (if open) and explore
+//   closer naive <file.mc> -D <n>       naive most-general-env closing
+//   closer gen-switchapp [options]      emit the case-study application
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgPrinter.h"
+#include "closing/DomainPartition.h"
+#include "closing/InterfaceReport.h"
+#include "closing/Pipeline.h"
+#include "envgen/NaiveClose.h"
+#include "explorer/Replay.h"
+#include "explorer/Search.h"
+#include "switchapp/SwitchApp.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace closer;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr, R"(usage:
+  closer close <file.mc> [--coarse] [--dedup-toss]
+      Close the program with its most general environment; print MiniC.
+  closer cfg <file.mc> [proc]
+      Print the closed control-flow graph listing(s).
+  closer dot <file.mc> <proc>
+      Print Graphviz dot for one closed procedure.
+  closer explore <file.mc> [--depth N] [--max-runs N] [--no-por]
+                 [--stop-on-error] [--env-domain N] [--open]
+      Close (unless --open) and systematically explore the state space.
+  closer naive <file.mc> -D <n>
+      Close with the naive explicit environment over domain [0,n]; print.
+  closer partition <file.mc> [--max-reps N]
+      Simplify range-classified inputs (section 7 analysis), close the
+      rest, print the result.
+  closer replay <file.mc> "<choices>" [--open] [--env-domain N]
+      Re-execute a recorded choice sequence (the `replay:` line of an
+      explore report) and print the resulting trace.
+  closer interface <file.mc>
+      Inventory the program's environment interface and how far
+      environment data spreads (what a manual stub would have to cover).
+  closer gen-switchapp [--lines N] [--trunks N] [--events N] [--variants N]
+                       [--bug]
+      Emit the synthetic call-processing application source.
+)");
+}
+
+std::string readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    std::exit(1);
+  }
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+struct Args {
+  std::vector<std::string> Positional;
+  std::vector<std::string> Flags;
+
+  bool has(const std::string &Flag) const {
+    for (const std::string &F : Flags)
+      if (F == Flag)
+        return true;
+    return false;
+  }
+
+  long valueOf(const std::string &Flag, long Default) const {
+    for (size_t I = 0; I + 1 < Flags.size(); ++I)
+      if (Flags[I] == Flag)
+        return std::strtol(Flags[I + 1].c_str(), nullptr, 10);
+    return Default;
+  }
+};
+
+Args parseArgs(int Argc, char **Argv, int From) {
+  Args A;
+  for (int I = From; I < Argc; ++I) {
+    std::string S = Argv[I];
+    if (!S.empty() && S[0] == '-')
+      A.Flags.push_back(S);
+    else if (!A.Flags.empty())
+      A.Flags.push_back(S); // Flag value.
+    else
+      A.Positional.push_back(S);
+  }
+  return A;
+}
+
+CloseResult closeFileOrDie(const std::string &Path, const Args &A) {
+  ClosingOptions Options;
+  Options.Taint.CoarseMode = A.has("--coarse");
+  Options.DedupTosses = A.has("--dedup-toss");
+  CloseResult R = closeSource(readFile(Path.c_str()), Options);
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s", R.Diags.str().c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+int cmdClose(const Args &A) {
+  if (A.Positional.empty()) {
+    usage();
+    return 1;
+  }
+  CloseResult R = closeFileOrDie(A.Positional[0], A);
+  std::printf("%s", emitModuleSource(*R.Closed).c_str());
+  std::fprintf(stderr,
+               "// closed: %zu -> %zu nodes, %zu toss node(s), "
+               "%zu parameter(s) removed, %zu env call(s) eliminated\n",
+               R.Stats.NodesBefore, R.Stats.NodesAfter,
+               R.Stats.TossNodesInserted, R.Stats.ParamsRemoved,
+               R.Stats.EnvCallsRemoved);
+  return 0;
+}
+
+int cmdCfg(const Args &A) {
+  if (A.Positional.empty()) {
+    usage();
+    return 1;
+  }
+  CloseResult R = closeFileOrDie(A.Positional[0], A);
+  if (A.Positional.size() > 1) {
+    const ProcCfg *Proc = R.Closed->findProc(A.Positional[1]);
+    if (!Proc) {
+      std::fprintf(stderr, "error: no procedure '%s'\n",
+                   A.Positional[1].c_str());
+      return 1;
+    }
+    std::printf("%s", printCfg(*Proc).c_str());
+    return 0;
+  }
+  std::printf("%s", printModule(*R.Closed).c_str());
+  return 0;
+}
+
+int cmdDot(const Args &A) {
+  if (A.Positional.size() < 2) {
+    usage();
+    return 1;
+  }
+  CloseResult R = closeFileOrDie(A.Positional[0], A);
+  const ProcCfg *Proc = R.Closed->findProc(A.Positional[1]);
+  if (!Proc) {
+    std::fprintf(stderr, "error: no procedure '%s'\n",
+                 A.Positional[1].c_str());
+    return 1;
+  }
+  std::printf("%s", cfgToDot(*Proc).c_str());
+  return 0;
+}
+
+int cmdExplore(const Args &A) {
+  if (A.Positional.empty()) {
+    usage();
+    return 1;
+  }
+  std::string Source = readFile(A.Positional[0].c_str());
+
+  std::unique_ptr<Module> ToExplore;
+  if (A.has("--open")) {
+    DiagnosticEngine Diags;
+    ToExplore = compileAndVerify(Source, Diags);
+    if (!ToExplore) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+  } else {
+    CloseResult R = closeFileOrDie(A.Positional[0], A);
+    ToExplore = std::move(R.Closed);
+    if (R.Stats.EnvCallsRemoved || R.Stats.ParamsRemoved)
+      std::fprintf(stderr, "note: program was open; closed automatically\n");
+  }
+
+  SearchOptions Opts;
+  Opts.MaxDepth = static_cast<size_t>(A.valueOf("--depth", 60));
+  Opts.MaxRuns = static_cast<uint64_t>(A.valueOf("--max-runs", 1000000));
+  Opts.StopOnFirstError = A.has("--stop-on-error");
+  Opts.Runtime.EnvDomainBound = A.valueOf("--env-domain", 1);
+  if (A.has("--no-por")) {
+    Opts.UsePersistentSets = false;
+    Opts.UseSleepSets = false;
+  }
+  if (A.has("--hash"))
+    Opts.UseStateHashing = true;
+
+  Explorer Ex(*ToExplore, Opts);
+  SearchStats Stats = Ex.run();
+  std::printf("%s\n", Stats.str().c_str());
+  if (Stats.VisibleOpsCovered < Stats.VisibleOpsTotal) {
+    std::printf("uncovered visible operations:\n");
+    for (const auto &[Proc, Node] : Ex.uncoveredVisibleOps())
+      std::printf("  %s node N%u\n", Proc.c_str(), Node);
+  }
+  for (const ErrorReport &Rep : Ex.reports())
+    std::printf("\n%s", Rep.str().c_str());
+  return (Stats.Deadlocks || Stats.AssertionViolations ||
+          Stats.RuntimeErrors)
+             ? 2
+             : 0;
+}
+
+int cmdNaive(const Args &A) {
+  if (A.Positional.empty()) {
+    usage();
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  auto Mod = compileAndVerify(readFile(A.Positional[0].c_str()), Diags);
+  if (!Mod) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  NaiveCloseOptions Options;
+  Options.DomainBound = A.valueOf("-D", 1);
+  NaiveCloseStats Stats;
+  Module Naive = naiveCloseModule(*Mod, Options, &Stats);
+  std::printf("%s", emitModuleSource(Naive).c_str());
+  std::fprintf(stderr,
+               "// naive closing over [0,%lld]: %zu env input(s), %zu env "
+               "output(s), %zu wrapper(s)\n",
+               static_cast<long long>(Options.DomainBound),
+               Stats.EnvInputsRewritten, Stats.EnvOutputsRewritten,
+               Stats.WrappersSynthesized);
+  return 0;
+}
+
+int cmdPartition(const Args &A) {
+  if (A.Positional.empty()) {
+    usage();
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  auto Mod = compileAndVerify(readFile(A.Positional[0].c_str()), Diags);
+  if (!Mod) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  PartitionOptions Options;
+  Options.MaxRepresentatives =
+      static_cast<size_t>(A.valueOf("--max-reps", 16));
+  PartitionStats PStats;
+  Module Simplified = partitionInputs(*Mod, Options, &PStats);
+  ClosingStats CStats;
+  Module Closed = closeModule(Simplified, {}, &CStats);
+  std::printf("%s", emitModuleSource(Closed).c_str());
+  std::fprintf(stderr,
+               "// partitioned %zu input(s) + %zu parameter(s) "
+               "(%zu representatives), %zu left for elimination\n",
+               PStats.InputsPartitioned, PStats.ParamsPartitioned,
+               PStats.RepresentativesTotal, PStats.InputsLeftOpen);
+  return 0;
+}
+
+int cmdInterface(const Args &A) {
+  if (A.Positional.empty()) {
+    usage();
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  auto Mod = compileAndVerify(readFile(A.Positional[0].c_str()), Diags);
+  if (!Mod) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  InterfaceReport Report = buildInterfaceReport(*Mod);
+  std::printf("%s", Report.str().c_str());
+  return Report.isClosed() ? 0 : 3;
+}
+
+int cmdReplay(const Args &A) {
+  if (A.Positional.size() < 2) {
+    usage();
+    return 1;
+  }
+  std::vector<ReplayStep> Steps;
+  if (!parseReplay(A.Positional[1], Steps)) {
+    std::fprintf(stderr, "error: malformed choice sequence\n");
+    return 1;
+  }
+
+  std::unique_ptr<Module> Mod;
+  if (A.has("--open")) {
+    DiagnosticEngine Diags;
+    Mod = compileAndVerify(readFile(A.Positional[0].c_str()), Diags);
+    if (!Mod) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+  } else {
+    CloseResult R = closeFileOrDie(A.Positional[0], A);
+    Mod = std::move(R.Closed);
+  }
+
+  SystemOptions SysOpts;
+  SysOpts.EnvDomainBound = A.valueOf("--env-domain", 1);
+  ReplayResult R = replayChoices(*Mod, Steps, SysOpts);
+  std::printf("%s", traceToString(R.TraceOut).c_str());
+  if (!R.Violations.empty())
+    std::printf("=> %zu assertion violation(s)\n", R.Violations.size());
+  if (R.Error)
+    std::printf("=> %s\n", R.Error.str().c_str());
+  switch (R.Final) {
+  case GlobalStateKind::Deadlock:
+    std::printf("=> deadlock\n");
+    break;
+  case GlobalStateKind::Termination:
+    std::printf("=> termination\n");
+    break;
+  case GlobalStateKind::HasEnabled:
+    std::printf("=> transitions still enabled\n");
+    break;
+  }
+  if (!R.Faithful)
+    std::printf("warning: choice sequence did not fit this program "
+                "exactly\n");
+  return 0;
+}
+
+int cmdGenSwitchApp(const Args &A) {
+  SwitchAppConfig Config;
+  Config.NumLines = static_cast<int>(A.valueOf("--lines", 3));
+  Config.NumTrunks = static_cast<int>(A.valueOf("--trunks", 2));
+  Config.EventsPerLine = static_cast<int>(A.valueOf("--events", 2));
+  Config.HandlerVariants = static_cast<int>(A.valueOf("--variants", 1));
+  Config.SeedTrunkLeakBug = A.has("--bug");
+  std::printf("%s", generateSwitchAppSource(Config).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string Cmd = argv[1];
+  Args A = parseArgs(argc, argv, 2);
+  if (Cmd == "close")
+    return cmdClose(A);
+  if (Cmd == "cfg")
+    return cmdCfg(A);
+  if (Cmd == "dot")
+    return cmdDot(A);
+  if (Cmd == "explore")
+    return cmdExplore(A);
+  if (Cmd == "naive")
+    return cmdNaive(A);
+  if (Cmd == "partition")
+    return cmdPartition(A);
+  if (Cmd == "replay")
+    return cmdReplay(A);
+  if (Cmd == "interface")
+    return cmdInterface(A);
+  if (Cmd == "gen-switchapp")
+    return cmdGenSwitchApp(A);
+  usage();
+  return 1;
+}
