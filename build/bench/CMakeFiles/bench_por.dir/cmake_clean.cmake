@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_por.dir/bench_por.cpp.o"
+  "CMakeFiles/bench_por.dir/bench_por.cpp.o.d"
+  "bench_por"
+  "bench_por.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_por.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_switchapp.dir/bench_switchapp.cpp.o"
+  "CMakeFiles/bench_switchapp.dir/bench_switchapp.cpp.o.d"
+  "bench_switchapp"
+  "bench_switchapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switchapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_env.dir/partial_env.cpp.o"
+  "CMakeFiles/partial_env.dir/partial_env.cpp.o.d"
+  "partial_env"
+  "partial_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

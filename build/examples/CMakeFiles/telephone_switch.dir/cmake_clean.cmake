@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telephone_switch.dir/telephone_switch.cpp.o"
+  "CMakeFiles/telephone_switch.dir/telephone_switch.cpp.o.d"
+  "telephone_switch"
+  "telephone_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telephone_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closer_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/closer_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/closer_cfg.dir/CfgBuilder.cpp.o"
+  "CMakeFiles/closer_cfg.dir/CfgBuilder.cpp.o.d"
+  "CMakeFiles/closer_cfg.dir/CfgPrinter.cpp.o"
+  "CMakeFiles/closer_cfg.dir/CfgPrinter.cpp.o.d"
+  "CMakeFiles/closer_cfg.dir/CfgVerifier.cpp.o"
+  "CMakeFiles/closer_cfg.dir/CfgVerifier.cpp.o.d"
+  "libcloser_cfg.a"
+  "libcloser_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closer_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

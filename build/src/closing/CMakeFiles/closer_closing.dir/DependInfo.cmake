@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/closing/ClosingTransform.cpp" "src/closing/CMakeFiles/closer_closing.dir/ClosingTransform.cpp.o" "gcc" "src/closing/CMakeFiles/closer_closing.dir/ClosingTransform.cpp.o.d"
+  "/root/repo/src/closing/DomainPartition.cpp" "src/closing/CMakeFiles/closer_closing.dir/DomainPartition.cpp.o" "gcc" "src/closing/CMakeFiles/closer_closing.dir/DomainPartition.cpp.o.d"
+  "/root/repo/src/closing/InterfaceReport.cpp" "src/closing/CMakeFiles/closer_closing.dir/InterfaceReport.cpp.o" "gcc" "src/closing/CMakeFiles/closer_closing.dir/InterfaceReport.cpp.o.d"
+  "/root/repo/src/closing/Pipeline.cpp" "src/closing/CMakeFiles/closer_closing.dir/Pipeline.cpp.o" "gcc" "src/closing/CMakeFiles/closer_closing.dir/Pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/closer_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/closer_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/closer_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/closer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

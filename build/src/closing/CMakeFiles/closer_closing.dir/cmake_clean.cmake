@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closer_closing.dir/ClosingTransform.cpp.o"
+  "CMakeFiles/closer_closing.dir/ClosingTransform.cpp.o.d"
+  "CMakeFiles/closer_closing.dir/DomainPartition.cpp.o"
+  "CMakeFiles/closer_closing.dir/DomainPartition.cpp.o.d"
+  "CMakeFiles/closer_closing.dir/InterfaceReport.cpp.o"
+  "CMakeFiles/closer_closing.dir/InterfaceReport.cpp.o.d"
+  "CMakeFiles/closer_closing.dir/Pipeline.cpp.o"
+  "CMakeFiles/closer_closing.dir/Pipeline.cpp.o.d"
+  "libcloser_closing.a"
+  "libcloser_closing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closer_closing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for closer_closing.
+# This may be replaced when dependencies are built.

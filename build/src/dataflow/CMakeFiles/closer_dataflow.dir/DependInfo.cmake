@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/AliasAnalysis.cpp" "src/dataflow/CMakeFiles/closer_dataflow.dir/AliasAnalysis.cpp.o" "gcc" "src/dataflow/CMakeFiles/closer_dataflow.dir/AliasAnalysis.cpp.o.d"
+  "/root/repo/src/dataflow/DefUse.cpp" "src/dataflow/CMakeFiles/closer_dataflow.dir/DefUse.cpp.o" "gcc" "src/dataflow/CMakeFiles/closer_dataflow.dir/DefUse.cpp.o.d"
+  "/root/repo/src/dataflow/EnvTaint.cpp" "src/dataflow/CMakeFiles/closer_dataflow.dir/EnvTaint.cpp.o" "gcc" "src/dataflow/CMakeFiles/closer_dataflow.dir/EnvTaint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/closer_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/closer_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/closer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closer_dataflow.dir/AliasAnalysis.cpp.o"
+  "CMakeFiles/closer_dataflow.dir/AliasAnalysis.cpp.o.d"
+  "CMakeFiles/closer_dataflow.dir/DefUse.cpp.o"
+  "CMakeFiles/closer_dataflow.dir/DefUse.cpp.o.d"
+  "CMakeFiles/closer_dataflow.dir/EnvTaint.cpp.o"
+  "CMakeFiles/closer_dataflow.dir/EnvTaint.cpp.o.d"
+  "libcloser_dataflow.a"
+  "libcloser_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closer_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

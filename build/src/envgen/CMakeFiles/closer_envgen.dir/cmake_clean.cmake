@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closer_envgen.dir/NaiveClose.cpp.o"
+  "CMakeFiles/closer_envgen.dir/NaiveClose.cpp.o.d"
+  "libcloser_envgen.a"
+  "libcloser_envgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closer_envgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closer_explorer.dir/Footprints.cpp.o"
+  "CMakeFiles/closer_explorer.dir/Footprints.cpp.o.d"
+  "CMakeFiles/closer_explorer.dir/Replay.cpp.o"
+  "CMakeFiles/closer_explorer.dir/Replay.cpp.o.d"
+  "CMakeFiles/closer_explorer.dir/Search.cpp.o"
+  "CMakeFiles/closer_explorer.dir/Search.cpp.o.d"
+  "libcloser_explorer.a"
+  "libcloser_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closer_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

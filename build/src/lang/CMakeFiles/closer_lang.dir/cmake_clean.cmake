@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closer_lang.dir/Ast.cpp.o"
+  "CMakeFiles/closer_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/closer_lang.dir/Builtins.cpp.o"
+  "CMakeFiles/closer_lang.dir/Builtins.cpp.o.d"
+  "CMakeFiles/closer_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/closer_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/closer_lang.dir/Parser.cpp.o"
+  "CMakeFiles/closer_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/closer_lang.dir/PrettyPrinter.cpp.o"
+  "CMakeFiles/closer_lang.dir/PrettyPrinter.cpp.o.d"
+  "CMakeFiles/closer_lang.dir/Sema.cpp.o"
+  "CMakeFiles/closer_lang.dir/Sema.cpp.o.d"
+  "libcloser_lang.a"
+  "libcloser_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closer_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

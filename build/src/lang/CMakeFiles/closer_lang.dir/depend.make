@@ -1,0 +1,2 @@
+# Empty dependencies file for closer_lang.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/System.cpp" "src/runtime/CMakeFiles/closer_runtime.dir/System.cpp.o" "gcc" "src/runtime/CMakeFiles/closer_runtime.dir/System.cpp.o.d"
+  "/root/repo/src/runtime/Trace.cpp" "src/runtime/CMakeFiles/closer_runtime.dir/Trace.cpp.o" "gcc" "src/runtime/CMakeFiles/closer_runtime.dir/Trace.cpp.o.d"
+  "/root/repo/src/runtime/Value.cpp" "src/runtime/CMakeFiles/closer_runtime.dir/Value.cpp.o" "gcc" "src/runtime/CMakeFiles/closer_runtime.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/closer_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/closer_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/closer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

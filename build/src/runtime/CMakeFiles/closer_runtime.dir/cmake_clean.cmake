@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closer_runtime.dir/System.cpp.o"
+  "CMakeFiles/closer_runtime.dir/System.cpp.o.d"
+  "CMakeFiles/closer_runtime.dir/Trace.cpp.o"
+  "CMakeFiles/closer_runtime.dir/Trace.cpp.o.d"
+  "CMakeFiles/closer_runtime.dir/Value.cpp.o"
+  "CMakeFiles/closer_runtime.dir/Value.cpp.o.d"
+  "libcloser_runtime.a"
+  "libcloser_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closer_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloser_runtime.a"
+)

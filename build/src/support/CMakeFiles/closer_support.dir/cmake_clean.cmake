@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closer_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/closer_support.dir/Diagnostics.cpp.o.d"
+  "libcloser_support.a"
+  "libcloser_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closer_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closer_switchapp.dir/SwitchApp.cpp.o"
+  "CMakeFiles/closer_switchapp.dir/SwitchApp.cpp.o.d"
+  "libcloser_switchapp.a"
+  "libcloser_switchapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closer_switchapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for closer_switchapp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ClosingEdgeTest.dir/ClosingEdgeTest.cpp.o"
+  "CMakeFiles/ClosingEdgeTest.dir/ClosingEdgeTest.cpp.o.d"
+  "ClosingEdgeTest"
+  "ClosingEdgeTest.pdb"
+  "ClosingEdgeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ClosingEdgeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

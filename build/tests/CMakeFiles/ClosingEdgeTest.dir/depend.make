@@ -1,0 +1,2 @@
+# Empty dependencies file for ClosingEdgeTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ClosingTransformTest.dir/ClosingTransformTest.cpp.o"
+  "CMakeFiles/ClosingTransformTest.dir/ClosingTransformTest.cpp.o.d"
+  "ClosingTransformTest"
+  "ClosingTransformTest.pdb"
+  "ClosingTransformTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ClosingTransformTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DataflowTest.dir/DataflowTest.cpp.o"
+  "CMakeFiles/DataflowTest.dir/DataflowTest.cpp.o.d"
+  "DataflowTest"
+  "DataflowTest.pdb"
+  "DataflowTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DataflowTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DomainPartitionTest.dir/DomainPartitionTest.cpp.o"
+  "CMakeFiles/DomainPartitionTest.dir/DomainPartitionTest.cpp.o.d"
+  "DomainPartitionTest"
+  "DomainPartitionTest.pdb"
+  "DomainPartitionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DomainPartitionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for DomainPartitionTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EnvGenTest.dir/EnvGenTest.cpp.o"
+  "CMakeFiles/EnvGenTest.dir/EnvGenTest.cpp.o.d"
+  "EnvGenTest"
+  "EnvGenTest.pdb"
+  "EnvGenTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EnvGenTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExplorerTest.dir/ExplorerTest.cpp.o"
+  "CMakeFiles/ExplorerTest.dir/ExplorerTest.cpp.o.d"
+  "ExplorerTest"
+  "ExplorerTest.pdb"
+  "ExplorerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExplorerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FootprintsTest.dir/FootprintsTest.cpp.o"
+  "CMakeFiles/FootprintsTest.dir/FootprintsTest.cpp.o.d"
+  "FootprintsTest"
+  "FootprintsTest.pdb"
+  "FootprintsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FootprintsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/InterfaceReportTest.cpp" "tests/CMakeFiles/InterfaceReportTest.dir/InterfaceReportTest.cpp.o" "gcc" "tests/CMakeFiles/InterfaceReportTest.dir/InterfaceReportTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/closing/CMakeFiles/closer_closing.dir/DependInfo.cmake"
+  "/root/repo/build/src/explorer/CMakeFiles/closer_explorer.dir/DependInfo.cmake"
+  "/root/repo/build/src/envgen/CMakeFiles/closer_envgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchapp/CMakeFiles/closer_switchapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/closer_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/closer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/closer_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/closer_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/closer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/InterfaceReportTest.dir/InterfaceReportTest.cpp.o"
+  "CMakeFiles/InterfaceReportTest.dir/InterfaceReportTest.cpp.o.d"
+  "InterfaceReportTest"
+  "InterfaceReportTest.pdb"
+  "InterfaceReportTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/InterfaceReportTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PorPropertyTest.dir/PorPropertyTest.cpp.o"
+  "CMakeFiles/PorPropertyTest.dir/PorPropertyTest.cpp.o.d"
+  "PorPropertyTest"
+  "PorPropertyTest.pdb"
+  "PorPropertyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PorPropertyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for PorPropertyTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ReplayTest.dir/ReplayTest.cpp.o"
+  "CMakeFiles/ReplayTest.dir/ReplayTest.cpp.o.d"
+  "ReplayTest"
+  "ReplayTest.pdb"
+  "ReplayTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ReplayTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RuntimeEdgeTest.dir/RuntimeEdgeTest.cpp.o"
+  "CMakeFiles/RuntimeEdgeTest.dir/RuntimeEdgeTest.cpp.o.d"
+  "RuntimeEdgeTest"
+  "RuntimeEdgeTest.pdb"
+  "RuntimeEdgeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RuntimeEdgeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for RuntimeEdgeTest.
+# This may be replaced when dependencies are built.

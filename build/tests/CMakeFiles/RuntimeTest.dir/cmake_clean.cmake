@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RuntimeTest.dir/RuntimeTest.cpp.o"
+  "CMakeFiles/RuntimeTest.dir/RuntimeTest.cpp.o.d"
+  "RuntimeTest"
+  "RuntimeTest.pdb"
+  "RuntimeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RuntimeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

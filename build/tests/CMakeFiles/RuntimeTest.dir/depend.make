@@ -1,0 +1,2 @@
+# Empty dependencies file for RuntimeTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SearchBudgetTest.dir/SearchBudgetTest.cpp.o"
+  "CMakeFiles/SearchBudgetTest.dir/SearchBudgetTest.cpp.o.d"
+  "SearchBudgetTest"
+  "SearchBudgetTest.pdb"
+  "SearchBudgetTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SearchBudgetTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

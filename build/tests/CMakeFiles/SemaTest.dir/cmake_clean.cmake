@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SemaTest.dir/SemaTest.cpp.o"
+  "CMakeFiles/SemaTest.dir/SemaTest.cpp.o.d"
+  "SemaTest"
+  "SemaTest.pdb"
+  "SemaTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SemaTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SwitchAppTest.dir/SwitchAppTest.cpp.o"
+  "CMakeFiles/SwitchAppTest.dir/SwitchAppTest.cpp.o.d"
+  "SwitchAppTest"
+  "SwitchAppTest.pdb"
+  "SwitchAppTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SwitchAppTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

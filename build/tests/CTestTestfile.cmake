@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ClosingTransformTest[1]_include.cmake")
+include("/root/repo/build/tests/RuntimeTest[1]_include.cmake")
+include("/root/repo/build/tests/ExplorerTest[1]_include.cmake")
+include("/root/repo/build/tests/EnvGenTest[1]_include.cmake")
+include("/root/repo/build/tests/SwitchAppTest[1]_include.cmake")
+include("/root/repo/build/tests/PropertyTest[1]_include.cmake")
+include("/root/repo/build/tests/LexerTest[1]_include.cmake")
+include("/root/repo/build/tests/ParserTest[1]_include.cmake")
+include("/root/repo/build/tests/SemaTest[1]_include.cmake")
+include("/root/repo/build/tests/CfgTest[1]_include.cmake")
+include("/root/repo/build/tests/DataflowTest[1]_include.cmake")
+include("/root/repo/build/tests/DomainPartitionTest[1]_include.cmake")
+include("/root/repo/build/tests/FootprintsTest[1]_include.cmake")
+include("/root/repo/build/tests/TraceTest[1]_include.cmake")
+include("/root/repo/build/tests/PorPropertyTest[1]_include.cmake")
+include("/root/repo/build/tests/IntegrationTest[1]_include.cmake")
+include("/root/repo/build/tests/SupportTest[1]_include.cmake")
+include("/root/repo/build/tests/SearchBudgetTest[1]_include.cmake")
+include("/root/repo/build/tests/ReplayTest[1]_include.cmake")
+include("/root/repo/build/tests/InterfaceReportTest[1]_include.cmake")
+include("/root/repo/build/tests/RuntimeEdgeTest[1]_include.cmake")
+include("/root/repo/build/tests/ClosingEdgeTest[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closer.dir/closer_main.cpp.o"
+  "CMakeFiles/closer.dir/closer_main.cpp.o.d"
+  "closer"
+  "closer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_close_figure2 "/root/repo/build/tools/closer" "close" "/root/repo/examples/minic/figure2.mc")
+set_tests_properties(cli_close_figure2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_partition_resource_manager "/root/repo/build/tools/closer" "partition" "/root/repo/examples/minic/resource_manager.mc")
+set_tests_properties(cli_partition_resource_manager PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explore_bounded_buffer "/root/repo/build/tools/closer" "explore" "/root/repo/examples/minic/bounded_buffer.mc" "--depth" "40")
+set_tests_properties(cli_explore_bounded_buffer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_finds_lock_order_deadlock "/root/repo/build/tools/closer" "explore" "/root/repo/examples/minic/lock_order_bug.mc" "--stop-on-error")
+set_tests_properties(cli_finds_lock_order_deadlock PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_cfg_listing "/root/repo/build/tools/closer" "cfg" "/root/repo/examples/minic/figure2.mc" "p")
+set_tests_properties(cli_cfg_listing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dot_output "/root/repo/build/tools/closer" "dot" "/root/repo/examples/minic/figure2.mc" "p")
+set_tests_properties(cli_dot_output PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_naive_close "/root/repo/build/tools/closer" "naive" "/root/repo/examples/minic/figure2.mc" "-D" "3")
+set_tests_properties(cli_naive_close PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_replay_deadlock "/root/repo/build/tools/closer" "replay" "/root/repo/examples/minic/lock_order_bug.mc" "s0 s1")
+set_tests_properties(cli_replay_deadlock PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_interface_inventory "/root/repo/build/tools/closer" "interface" "/root/repo/examples/minic/resource_manager.mc")
+set_tests_properties(cli_interface_inventory PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
