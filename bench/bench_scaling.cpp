@@ -20,6 +20,7 @@
 #include "BenchUtil.h"
 
 #include "dataflow/DefUse.h"
+#include "explorer/ParallelSearch.h"
 
 #include <benchmark/benchmark.h>
 
@@ -84,6 +85,39 @@ void BM_FrontendCompile(benchmark::State &State) {
 BENCHMARK(BM_FrontendCompile)
     ->RangeMultiplier(4)
     ->Range(128, 32768)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExploreJobs(benchmark::State &State) {
+  // Speedup of the work-sharing parallel explorer over the same
+  // state-space-heavy workload: dining philosophers without reduction.
+  // The arg is the worker count; states_per_sec is the figure of merit
+  // (it should scale with available cores — on a single-core machine all
+  // job counts collapse to sequential throughput plus queue overhead).
+  auto Mod = benchCompile(philosophersProgram(3, 2));
+  SearchOptions Opts;
+  Opts.MaxDepth = 14;
+  Opts.UsePersistentSets = false;
+  Opts.UseSleepSets = false;
+  Opts.Jobs = static_cast<size_t>(State.range(0));
+
+  uint64_t States = 0;
+  for (auto _ : State) {
+    ParallelExplorer Ex(*Mod, Opts);
+    SearchStats Stats = Ex.run();
+    States = Stats.StatesVisited;
+    benchmark::DoNotOptimize(&Stats);
+  }
+  State.counters["states"] = static_cast<double>(States);
+  State.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(States) * State.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -1,0 +1,351 @@
+//===- ParallelSearch.cpp - Work-sharing parallel stateless search ---------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "explorer/ParallelSearch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+using namespace closer;
+
+//===----------------------------------------------------------------------===//
+// WorkDeque
+//===----------------------------------------------------------------------===//
+
+/// Mutex-protected deque of work items with starvation signalling and
+/// all-idle termination detection. Workers block in pop(); when every
+/// worker is blocked and the deque is empty, the search tree is exhausted.
+class ParallelExplorer::WorkDeque {
+public:
+  explicit WorkDeque(int Workers) : Workers(Workers) {}
+
+  void push(WorkItem Item) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Drained)
+        return;
+      Q.push_back(std::move(Item));
+    }
+    CV.notify_one();
+  }
+
+  void pushAll(std::vector<WorkItem> Items) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      for (WorkItem &I : Items)
+        Q.push_back(std::move(I));
+    }
+    CV.notify_all();
+  }
+
+  /// Blocks until an item is available. Returns false when the run is over:
+  /// stop requested, or every worker idle with nothing queued.
+  bool pop(WorkItem &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    for (;;) {
+      if (Stopped || Drained)
+        return false;
+      if (!Q.empty()) {
+        Out = std::move(Q.front());
+        Q.pop_front();
+        return true;
+      }
+      ++Idle;
+      Starving.store(true, std::memory_order_relaxed);
+      if (Idle == Workers) {
+        // Everyone is waiting on an empty deque: no subtree is left
+        // anywhere, so the exploration is complete.
+        Drained = true;
+        CV.notify_all();
+        return false;
+      }
+      CV.wait(Lock, [&] { return !Q.empty() || Stopped || Drained; });
+      --Idle;
+      Starving.store(Idle > 0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Cheap, lock-free hint for donors. A stale read only delays or adds a
+  /// donation; it never affects which states get explored.
+  bool starving() const { return Starving.load(std::memory_order_relaxed); }
+
+  void requestStop() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stopped = true;
+    }
+    CV.notify_all();
+  }
+
+private:
+  const int Workers;
+  std::mutex M;
+  std::condition_variable CV;
+  std::deque<WorkItem> Q;
+  int Idle = 0;
+  bool Stopped = false;
+  bool Drained = false;
+  std::atomic<bool> Starving{false};
+};
+
+//===----------------------------------------------------------------------===//
+// ParallelExplorer
+//===----------------------------------------------------------------------===//
+
+ParallelExplorer::ParallelExplorer(const Module &Mod, SearchOptions Options)
+    : Mod(Mod), Options(Options) {}
+
+ParallelExplorer::~ParallelExplorer() = default;
+
+/// The replay step that selects option \p Option of decision \p D.
+ReplayStep ParallelExplorer::stepFor(const Explorer::Decision &D,
+                                     size_t Option) {
+  ReplayStep S;
+  switch (D.K) {
+  case Explorer::Decision::Kind::Sched:
+    S.K = ReplayStep::Kind::Sched;
+    S.Value = D.Procs[Option];
+    break;
+  case Explorer::Decision::Kind::Toss:
+    S.K = ReplayStep::Kind::Toss;
+    S.Value = static_cast<int64_t>(Option);
+    break;
+  case Explorer::Decision::Kind::Env:
+    S.K = ReplayStep::Kind::Env;
+    S.Value = static_cast<int64_t>(Option);
+    break;
+  }
+  return S;
+}
+
+namespace {
+
+uint64_t reportKey(const ErrorReport &R) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  Mix(static_cast<uint64_t>(R.Kind));
+  for (const ReplayStep &S : R.Choices) {
+    Mix(static_cast<uint64_t>(S.K) + 1);
+    Mix(static_cast<uint64_t>(S.Value) + 0x9e3779b9ull);
+  }
+  return H;
+}
+
+void accumulate(SearchStats &Into, const SearchStats &From) {
+  Into.Runs += From.Runs;
+  Into.Transitions += From.Transitions;
+  Into.TreeTransitions += From.TreeTransitions;
+  Into.StatesVisited += From.StatesVisited;
+  Into.Deadlocks += From.Deadlocks;
+  Into.Terminations += From.Terminations;
+  Into.AssertionViolations += From.AssertionViolations;
+  Into.Divergences += From.Divergences;
+  Into.RuntimeErrors += From.RuntimeErrors;
+  Into.DepthLimitHits += From.DepthLimitHits;
+  Into.SleepSetPrunes += From.SleepSetPrunes;
+  Into.HashPrunes += From.HashPrunes;
+  Into.ReportsDropped += From.ReportsDropped;
+}
+
+} // namespace
+
+bool ParallelExplorer::donateOne(Explorer &Ex, WorkDeque &Queue) {
+  // Donate from the highest (closest to the work-item root) decision with
+  // untried siblings: that is the largest parcel of remaining work, which
+  // is what keeps skewed trees balanced. The donated option is taken from
+  // the tail of the sibling range so the donor's own left-to-right DFS
+  // order is unaffected.
+  for (size_t I = Ex.Floor; I < Ex.Path.size(); ++I) {
+    Explorer::Decision &D = Ex.Path[I];
+    size_t End = D.ownedOptionEnd();
+    if (D.Chosen + 1 >= End)
+      continue;
+    WorkItem Item;
+    Item.FreshFrom = I;
+    Item.Prefix.reserve(I + 1);
+    for (size_t J = 0; J != I; ++J)
+      Item.Prefix.push_back(stepFor(Ex.Path[J], Ex.Path[J].Chosen));
+    Item.Prefix.push_back(stepFor(D, End - 1));
+    ++D.DonatedTail;
+    Queue.push(std::move(Item));
+    return true;
+  }
+  return false;
+}
+
+void ParallelExplorer::driveExplorer(Explorer &Ex, WorkDeque *Queue) {
+  for (;;) {
+    bool Continue = Ex.runOnce();
+    ++Ex.Stats.Runs;
+    uint64_t TotalRuns = Control.Runs.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (Options.MaxRuns && TotalRuns >= Options.MaxRuns)
+      Ex.requestStop();
+    if (!Continue || Ex.stopRequested())
+      return;
+    if (!Ex.backtrack())
+      return;
+    if (Queue && Queue->starving())
+      donateOne(Ex, *Queue);
+  }
+}
+
+void ParallelExplorer::workerMain(Explorer &Ex, WorkDeque &Queue) {
+  WorkItem Item;
+  while (Queue.pop(Item)) {
+    Ex.beginSubtree(std::move(Item.Prefix), Item.FreshFrom);
+    driveExplorer(Ex, &Queue);
+    if (Ex.stopRequested()) {
+      Queue.requestStop();
+      return;
+    }
+  }
+}
+
+void ParallelExplorer::mergeResults(const std::vector<Explorer *> &Parts) {
+  Stats = SearchStats();
+  Reports.clear();
+  Covered.clear();
+
+  std::unordered_set<uint64_t> SeenReports;
+  for (Explorer *Ex : Parts) {
+    accumulate(Stats, Ex->Stats);
+    Covered.insert(Ex->CoveredOps.begin(), Ex->CoveredOps.end());
+    for (ErrorReport &R : Ex->Reports) {
+      if (!SeenReports.insert(reportKey(R)).second)
+        continue; // Same choice sequence reported twice — keep one.
+      Reports.push_back(std::move(R));
+    }
+  }
+
+  // Deterministic report order regardless of worker scheduling: shallow
+  // errors first, ties broken by the replayable choice sequence.
+  std::sort(Reports.begin(), Reports.end(),
+            [](const ErrorReport &A, const ErrorReport &B) {
+              if (A.Depth != B.Depth)
+                return A.Depth < B.Depth;
+              return replayToString(A.Choices) < replayToString(B.Choices);
+            });
+  if (Reports.size() > Options.MaxReports) {
+    Stats.ReportsDropped += Reports.size() - Options.MaxReports;
+    Reports.resize(Options.MaxReports);
+  }
+
+  if (Options.TrackCoverage) {
+    for (const ProcCfg &Proc : Mod.Procs)
+      for (const CfgNode &Node : Proc.Nodes)
+        Stats.VisibleOpsTotal += Node.isVisibleOp();
+    Stats.VisibleOpsCovered = Covered.size();
+  }
+}
+
+SearchStats ParallelExplorer::run() {
+  // The state-hashing ablation prunes on a visited set whose contents
+  // depend on traversal order; splitting it across workers would change
+  // the result, so it stays sequential.
+  if (Options.Jobs <= 1 || Options.UseStateHashing) {
+    Explorer Ex(Mod, Options);
+    Ex.run();
+    std::vector<Explorer *> Parts{&Ex};
+    mergeResults(Parts);
+    Stats.Completed = Ex.stats().Completed;
+    // mergeResults re-derives coverage; keep the sequential run's numbers.
+    Stats.VisibleOpsTotal = Ex.stats().VisibleOpsTotal;
+    Stats.VisibleOpsCovered = Ex.stats().VisibleOpsCovered;
+    return Stats;
+  }
+
+  Control.StatesVisited.store(0);
+  Control.Runs.store(0);
+  Control.Stop.store(false);
+
+  // Phase 1 — sequential seeding: expand the tree to the split depth,
+  // collecting the frontier prefixes. The seeder owns (counts, reports)
+  // everything strictly above the frontier; each frontier node and its
+  // subtree belong to the worker that claims the prefix.
+  size_t SplitDepth = Options.SplitDepth;
+  if (SplitDepth == 0) {
+    SplitDepth = 3;
+    for (size_t J = 1; J < Options.Jobs; J <<= 1)
+      ++SplitDepth;
+  }
+
+  std::vector<std::vector<ReplayStep>> Frontier;
+  Explorer Seeder(Mod, Options);
+  Seeder.Shared = &Control;
+  Seeder.FrontierSink = &Frontier;
+  Seeder.FrontierDepth = SplitDepth;
+  driveExplorer(Seeder, nullptr);
+  Seeder.FrontierSink = nullptr;
+
+  // Phase 2 — parallel subtree exhaustion with work sharing.
+  const int Jobs = static_cast<int>(Options.Jobs);
+  WorkDeque Queue(Jobs);
+  {
+    std::vector<WorkItem> Items;
+    Items.reserve(Frontier.size());
+    for (std::vector<ReplayStep> &Prefix : Frontier) {
+      WorkItem Item;
+      Item.FreshFrom = Prefix.size(); // Replay of the prefix is never fresh.
+      Item.Prefix = std::move(Prefix);
+      Items.push_back(std::move(Item));
+    }
+    Queue.pushAll(std::move(Items));
+  }
+
+  std::vector<std::unique_ptr<Explorer>> Workers;
+  Workers.reserve(static_cast<size_t>(Jobs));
+  for (int W = 0; W != Jobs; ++W) {
+    Workers.push_back(std::make_unique<Explorer>(Mod, Options));
+    Workers.back()->Shared = &Control;
+  }
+
+  if (Control.Stop.load(std::memory_order_acquire))
+    Queue.requestStop(); // Budget/first error already hit while seeding.
+
+  {
+    std::vector<std::thread> Threads;
+    Threads.reserve(static_cast<size_t>(Jobs));
+    for (int W = 0; W != Jobs; ++W)
+      Threads.emplace_back(
+          [this, &Queue, Ex = Workers[static_cast<size_t>(W)].get()] {
+            workerMain(*Ex, Queue);
+          });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  std::vector<Explorer *> Parts;
+  Parts.push_back(&Seeder);
+  for (std::unique_ptr<Explorer> &W : Workers)
+    Parts.push_back(W.get());
+  mergeResults(Parts);
+  Stats.Completed = !Control.Stop.load(std::memory_order_acquire);
+  return Stats;
+}
+
+std::vector<std::pair<std::string, NodeId>>
+ParallelExplorer::uncoveredVisibleOps() const {
+  std::vector<std::pair<std::string, NodeId>> Out;
+  for (size_t P = 0, E = Mod.Procs.size(); P != E; ++P) {
+    const ProcCfg &Proc = Mod.Procs[P];
+    for (size_t I = 0, N = Proc.Nodes.size(); I != N; ++I) {
+      if (!Proc.Nodes[I].isVisibleOp())
+        continue;
+      uint64_t Key = (static_cast<uint64_t>(P) << 32) | I;
+      if (!Covered.count(Key))
+        Out.push_back({Proc.Name, static_cast<NodeId>(I)});
+    }
+  }
+  return Out;
+}

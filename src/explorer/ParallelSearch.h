@@ -1,0 +1,92 @@
+//===- ParallelSearch.h - Work-sharing parallel stateless search -*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel VeriSoft-style search. Stateless exploration is embarrassingly
+/// parallel: a recorded choice prefix fully determines the subtree below
+/// it, so disjoint prefixes can be exhausted by independent workers, each
+/// owning a private System replaying from the initial state.
+///
+///  * a sequential seeding pass expands the search tree to a split depth
+///    and pushes the frontier prefixes onto a shared work deque;
+///  * N workers claim prefixes and run the ordinary bounded DFS below
+///    them, pinned so backtracking never escapes the claimed subtree;
+///  * when the deque runs dry, busy workers donate the highest unexplored
+///    sibling prefix of their current path back to the deque, so load
+///    stays balanced on skewed trees;
+///  * the MaxRuns/MaxStates budgets and the StopOnFirstError stop flag
+///    live in shared atomics consulted at every replay step;
+///  * per-worker SearchStats are merged at exit, and ErrorReports are
+///    deduplicated by a hash of their choice sequence.
+///
+/// The result is bit-identical to the sequential Explorer's on every
+/// tree-shaped statistic (states, tree transitions, leaf classification)
+/// and reports the same error set, independent of worker scheduling,
+/// because the work items partition the search tree exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_EXPLORER_PARALLELSEARCH_H
+#define CLOSER_EXPLORER_PARALLELSEARCH_H
+
+#include "explorer/Search.h"
+
+#include <memory>
+#include <vector>
+
+namespace closer {
+
+class ParallelExplorer {
+public:
+  ParallelExplorer(const Module &Mod, SearchOptions Options = {});
+  ~ParallelExplorer();
+
+  /// Runs the exploration to completion (or budget exhaustion) on
+  /// Options.Jobs worker threads. Jobs <= 1 — or the state-hashing
+  /// ablation, whose visited-set is inherently order-dependent — falls
+  /// back to the sequential Explorer.
+  SearchStats run();
+
+  const std::vector<ErrorReport> &reports() const { return Reports; }
+  const SearchStats &stats() const { return Stats; }
+
+  /// Visible-operation call sites never exercised by the last run, merged
+  /// over all workers.
+  std::vector<std::pair<std::string, NodeId>> uncoveredVisibleOps() const;
+
+private:
+  /// A claimed unit of work: explore the whole subtree under Prefix.
+  /// Decisions at index >= FreshFrom have not been executed by any other
+  /// worker and count as fresh for stats/report purposes.
+  struct WorkItem {
+    std::vector<ReplayStep> Prefix;
+    size_t FreshFrom = 0;
+  };
+
+  class WorkDeque;
+
+  /// Exhausts the explorer's current (sub)tree: runOnce/backtrack loop
+  /// with shared-budget accounting, donating work when the deque starves.
+  void driveExplorer(Explorer &Ex, WorkDeque *Queue);
+  void workerMain(Explorer &Ex, WorkDeque &Queue);
+  /// Moves one unexplored sibling subtree from Ex's path to the deque.
+  static bool donateOne(Explorer &Ex, WorkDeque &Queue);
+  /// The replay step selecting option \p Option of decision \p D.
+  static ReplayStep stepFor(const Explorer::Decision &D, size_t Option);
+  void mergeResults(const std::vector<Explorer *> &Parts);
+
+  const Module &Mod;
+  SearchOptions Options;
+  SharedSearchControl Control;
+  SearchStats Stats;
+  std::vector<ErrorReport> Reports;
+  std::unordered_set<uint64_t> Covered; ///< Union of worker coverage sets.
+};
+
+} // namespace closer
+
+#endif // CLOSER_EXPLORER_PARALLELSEARCH_H

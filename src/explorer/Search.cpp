@@ -29,6 +29,8 @@ std::string SearchStats::str() const {
   Out += " depth-limit-hits=" + std::to_string(DepthLimitHits);
   Out += " sleep-prunes=" + std::to_string(SleepSetPrunes);
   Out += " hash-prunes=" + std::to_string(HashPrunes);
+  if (ReportsDropped)
+    Out += " reports-dropped=" + std::to_string(ReportsDropped);
   if (VisibleOpsTotal)
     Out += " visible-op-coverage=" + std::to_string(VisibleOpsCovered) +
            "/" + std::to_string(VisibleOpsTotal);
@@ -67,39 +69,53 @@ std::string ErrorReport::str() const {
 
 /// Feeds recorded toss/env decisions back during replay and appends fresh
 /// ones (always choosing 0 first) when execution passes the recorded
-/// frontier.
+/// frontier. When the explorer carries a work-item seed prefix
+/// (ParallelExplorer), decisions past the recorded path follow that prefix
+/// instead of defaulting to 0, rebuilding the donor's Decision records.
 class Explorer::PathProvider : public ChoiceProvider {
 public:
-  PathProvider(std::vector<Decision> &Path, size_t &Cursor, size_t FreshFrom,
-               bool &FreshMode)
-      : Path(Path), Cursor(Cursor), FreshFrom(FreshFrom),
-        FreshMode(FreshMode) {}
+  PathProvider(Explorer &E, size_t FreshFrom, bool &FreshMode)
+      : E(E), FreshFrom(FreshFrom), FreshMode(FreshMode) {}
 
   int64_t choose(ChoiceKind Kind, int64_t Bound) override {
     Decision::Kind DK = Kind == ChoiceKind::Toss ? Decision::Kind::Toss
                                                  : Decision::Kind::Env;
-    if (Cursor < Path.size()) {
-      Decision &D = Path[Cursor];
+    // The runtime reports negative bounds as errors before any branching
+    // can depend on the outcome; never record a range that would wrap.
+    if (Bound < 0)
+      Bound = 0;
+    if (E.Cursor < E.Path.size()) {
+      Decision &D = E.Path[E.Cursor];
       assert(D.K == DK && D.Bound == Bound &&
              "replay diverged from recorded choices (nondeterminism leak)");
-      if (Cursor >= FreshFrom)
+      if (E.Cursor >= FreshFrom)
         FreshMode = true;
-      ++Cursor;
+      ++E.Cursor;
       return static_cast<int64_t>(D.Chosen);
     }
     Decision D;
     D.K = DK;
     D.Bound = Bound;
     D.Chosen = 0;
-    Path.push_back(std::move(D));
-    FreshMode = true;
-    ++Cursor;
-    return 0;
+    if (E.SeedCursor < E.SeedPrefix.size()) {
+      const ReplayStep &S = E.SeedPrefix[E.SeedCursor];
+      assert(((DK == Decision::Kind::Toss && S.K == ReplayStep::Kind::Toss) ||
+              (DK == Decision::Kind::Env && S.K == ReplayStep::Kind::Env)) &&
+             S.Value >= 0 && S.Value <= Bound &&
+             "work-item prefix diverged from the donor's execution");
+      D.Chosen = static_cast<size_t>(S.Value);
+      ++E.SeedCursor;
+    }
+    int64_t Out = static_cast<int64_t>(D.Chosen);
+    if (E.Cursor >= FreshFrom)
+      FreshMode = true;
+    E.Path.push_back(std::move(D));
+    ++E.Cursor;
+    return Out;
   }
 
 private:
-  std::vector<Decision> &Path;
-  size_t &Cursor;
+  Explorer &E;
   size_t FreshFrom;
   bool &FreshMode;
 };
@@ -115,6 +131,8 @@ Explorer::Explorer(const Module &Mod, SearchOptions Options)
 void Explorer::report(ErrorReport R) {
   if (Reports.size() < Options.MaxReports)
     Reports.push_back(std::move(R));
+  else
+    ++Stats.ReportsDropped;
 }
 
 /// The choices consumed so far in the current run, in replayable form.
@@ -207,13 +225,19 @@ Explorer::schedCandidates(const std::vector<int> &Enabled,
 
 bool Explorer::runOnce() {
   Cursor = 0;
-  bool FreshMode = Path.empty();
+  const bool Seeding = SeedCursor < SeedPrefix.size();
+  // On a work item's first run the whole initial segment was executed (and
+  // counted) by the donor; freshness starts at the item's SeedFresh index.
+  bool FreshMode = Path.empty() && !Seeding;
   size_t FreshFrom = 0;
-  // FreshFrom: index of the first decision not yet fully explored — the
-  // decision backtrack() just incremented, i.e. the last one in Path.
-  if (!Path.empty())
+  if (Seeding) {
+    FreshFrom = SeedFresh;
+  } else if (!Path.empty()) {
+    // FreshFrom: index of the first decision not yet fully explored — the
+    // decision backtrack() just incremented, i.e. the last one in Path.
     FreshFrom = Path.size() - 1;
-  PathProvider Provider(Path, Cursor, FreshFrom, FreshMode);
+  }
+  PathProvider Provider(*this, FreshFrom, FreshMode);
 
   std::vector<int> CurSleep;
 
@@ -230,7 +254,7 @@ bool Explorer::runOnce() {
         Rep.Process = V.Process;
         report(std::move(Rep));
         if (Options.StopOnFirstError)
-          StopFlag = true;
+          requestStop();
       }
       if (R.Error) {
         ErrorReport Rep;
@@ -248,14 +272,14 @@ bool Explorer::runOnce() {
         }
         report(std::move(Rep));
         if (Options.StopOnFirstError)
-          StopFlag = true;
+          requestStop();
       }
     }
   };
 
   ExecResult Init = Sys.reset(Provider);
   HandleExec(Init);
-  if (StopFlag)
+  if (stopRequested())
     return false;
 
   auto RecordLeafTrace = [&] {
@@ -265,14 +289,50 @@ bool Explorer::runOnce() {
   };
 
   for (;;) {
+    // Another worker may have hit the global budget or found the first
+    // error; bail out before executing the next step.
+    if (stopRequested()) {
+      StopFlag = true;
+      return false;
+    }
     bool AtPathEnd = Cursor >= Path.size();
     std::vector<int> Enabled = Sys.enabledProcesses();
 
-    if (AtPathEnd) {
+    if (AtPathEnd && SeedCursor < SeedPrefix.size()) {
+      // Work-item prefix reconstruction: rebuild the scheduling Decision
+      // (candidate list and sleep set, both deterministic functions of the
+      // path so far) the donor had here, without recounting its stats.
+      const ReplayStep &S = SeedPrefix[SeedCursor];
+      assert(S.K == ReplayStep::Kind::Sched &&
+             "work-item prefix diverged: expected a scheduling step");
+      Decision D;
+      D.K = Decision::Kind::Sched;
+      D.Procs = schedCandidates(Enabled, CurSleep, {});
+      D.Sleep = CurSleep;
+      auto It = std::find(D.Procs.begin(), D.Procs.end(),
+                          static_cast<int>(S.Value));
+      assert(It != D.Procs.end() &&
+             "work-item prefix diverged: process not a candidate");
+      D.Chosen = static_cast<size_t>(It - D.Procs.begin());
+      ++SeedCursor;
+      Path.push_back(std::move(D));
+    } else if (AtPathEnd) {
       FreshMode = true;
+      if (FrontierSink && Path.size() >= FrontierDepth) {
+        // Seeding cut: hand this whole subtree to a worker. The node is
+        // deliberately left uncounted — its owner counts it (and
+        // classifies it as a leaf if it is one).
+        FrontierSink->push_back(currentChoices());
+        return true;
+      }
       ++Stats.StatesVisited;
-      if (Options.MaxStates && Stats.StatesVisited >= Options.MaxStates) {
-        StopFlag = true;
+      uint64_t TotalStates = Stats.StatesVisited;
+      if (Shared)
+        TotalStates =
+            Shared->StatesVisited.fetch_add(1, std::memory_order_relaxed) +
+            1;
+      if (Options.MaxStates && TotalStates >= Options.MaxStates) {
+        requestStop();
         return false;
       }
       if (Options.UseStateHashing) {
@@ -292,7 +352,7 @@ bool Explorer::runOnce() {
           Rep.Choices = currentChoices();
           report(std::move(Rep));
           if (Options.StopOnFirstError && Options.DeadlockIsError)
-            StopFlag = true;
+            requestStop();
         } else {
           ++Stats.Terminations;
         }
@@ -360,16 +420,19 @@ bool Explorer::runOnce() {
     if (FreshMode)
       ++Stats.TreeTransitions;
     HandleExec(R);
-    if (StopFlag)
+    if (stopRequested())
       return false;
     CurSleep = std::move(NewSleep);
   }
 }
 
 bool Explorer::backtrack() {
-  while (!Path.empty()) {
+  // Decisions below Floor belong to the work item's pinned prefix (Floor
+  // is 0 for a plain sequential search); options donated to other workers
+  // are excluded from re-exploration.
+  while (Path.size() > Floor) {
     Decision &D = Path.back();
-    if (D.Chosen + 1 < D.optionCount()) {
+    if (D.Chosen + 1 < D.ownedOptionEnd()) {
       ++D.Chosen;
       return true;
     }
@@ -379,12 +442,19 @@ bool Explorer::backtrack() {
 }
 
 SearchStats Explorer::run() {
+  // Re-invocation starts from a clean slate: stats, reports, caches, and
+  // any parallel work-item state left by a previous use of this explorer.
   Stats = SearchStats();
   Reports.clear();
   SeenHashes.clear();
   CoveredOps.clear();
   Path.clear();
+  Cursor = 0;
   StopFlag = false;
+  Floor = 0;
+  SeedPrefix.clear();
+  SeedCursor = 0;
+  SeedFresh = 0;
 
   for (;;) {
     bool Continue = runOnce();

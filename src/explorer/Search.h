@@ -34,12 +34,15 @@
 #include "explorer/Replay.h"
 #include "runtime/System.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 namespace closer {
+
+class ParallelExplorer;
 
 struct SearchOptions {
   /// Maximum transitions along one path (the paper's "complete coverage of
@@ -62,7 +65,22 @@ struct SearchOptions {
   /// — a test-adequacy metric for the paper's "lightweight testing
   /// platform" use (§6).
   bool TrackCoverage = true;
+  /// Worker threads for ParallelExplorer (1 = plain sequential search).
+  size_t Jobs = 1;
+  /// Number of decisions the sequential seeding pass expands before
+  /// handing subtrees to workers (0 = derive from Jobs). Only read by
+  /// ParallelExplorer.
+  size_t SplitDepth = 0;
   SystemOptions Runtime;
+};
+
+/// State shared between the workers of a ParallelExplorer run: the global
+/// MaxRuns/MaxStates budgets and the StopOnFirstError stop flag keep their
+/// sequential meaning by living in atomics every worker consults.
+struct SharedSearchControl {
+  std::atomic<uint64_t> StatesVisited{0};
+  std::atomic<uint64_t> Runs{0};
+  std::atomic<bool> Stop{false};
 };
 
 struct SearchStats {
@@ -78,6 +96,8 @@ struct SearchStats {
   uint64_t DepthLimitHits = 0;
   uint64_t SleepSetPrunes = 0;
   uint64_t HashPrunes = 0;
+  /// Error reports discarded because MaxReports was already reached.
+  uint64_t ReportsDropped = 0;
   /// Visible-operation call sites executed at least once / total in the
   /// module (0/0 when coverage tracking is off).
   uint64_t VisibleOpsCovered = 0;
@@ -133,11 +153,19 @@ private:
     // Toss/Env:
     int64_t Bound = 0;
     size_t Chosen = 0;
+    /// Trailing options handed to another worker by ParallelExplorer's
+    /// work sharing; backtrack() must not re-explore them.
+    uint32_t DonatedTail = 0;
 
     size_t optionCount() const {
-      return K == Kind::Sched ? Procs.size()
-                              : static_cast<size_t>(Bound) + 1;
+      if (K == Kind::Sched)
+        return Procs.size();
+      // A negative bound is a runtime error (the System reports it before
+      // any choice is recorded); never let it wrap into a huge count.
+      return Bound < 0 ? 1 : static_cast<size_t>(Bound) + 1;
     }
+    /// Options still owned by this explorer (donated ones excluded).
+    size_t ownedOptionEnd() const { return optionCount() - DonatedTail; }
   };
 
   class PathProvider;
@@ -151,7 +179,30 @@ private:
                                    const std::vector<int> &Sleep,
                                    const std::vector<int> &SleepObjs);
   void report(ErrorReport R);
-  bool stopRequested() const { return StopFlag; }
+  bool stopRequested() const {
+    return StopFlag ||
+           (Shared && Shared->Stop.load(std::memory_order_acquire));
+  }
+  /// Stops this explorer and, when coordinated, every sibling worker.
+  void requestStop() {
+    StopFlag = true;
+    if (Shared)
+      Shared->Stop.store(true, std::memory_order_release);
+  }
+  /// ParallelExplorer: prepare this explorer to exhaust the subtree under
+  /// \p Prefix. The prefix decisions are reconstructed (candidates and
+  /// sleep sets recomputed) during the first runOnce() without recounting
+  /// stats; decisions at index >= \p FreshFrom count as fresh. backtrack()
+  /// then never pops below the prefix. Stats/Reports accumulate across
+  /// successive subtrees.
+  void beginSubtree(std::vector<ReplayStep> Prefix, size_t FreshFrom) {
+    Path.clear();
+    Cursor = 0;
+    Floor = Prefix.size();
+    SeedPrefix = std::move(Prefix);
+    SeedCursor = 0;
+    SeedFresh = FreshFrom;
+  }
 
   const Module &Mod;
   SearchOptions Options;
@@ -167,6 +218,27 @@ private:
   bool StopFlag = false;
   std::vector<Trace> *TraceSink = nullptr;
   size_t TraceSinkCap = 0;
+
+  // Parallel-mode state, driven by ParallelExplorer (see ParallelSearch.h).
+  /// Decisions [0, Floor) are a pinned work-item prefix; backtrack() stops
+  /// there instead of at the root.
+  size_t Floor = 0;
+  /// Choice prefix still to be reconstructed into Path on the next
+  /// runOnce(), and the cursor walking it.
+  std::vector<ReplayStep> SeedPrefix;
+  size_t SeedCursor = 0;
+  /// First prefix index whose execution counts as fresh (seeded items:
+  /// prefix length — nothing; donated items: the donated sibling step).
+  size_t SeedFresh = 0;
+  /// Seeding mode: instead of descending past FrontierDepth decisions,
+  /// emit the choice prefix here and treat the node as an artificial leaf.
+  /// The frontier node itself is left uncounted for its future owner.
+  std::vector<std::vector<ReplayStep>> *FrontierSink = nullptr;
+  size_t FrontierDepth = 0;
+  /// Shared budgets/stop flag when part of a parallel run.
+  SharedSearchControl *Shared = nullptr;
+
+  friend class ParallelExplorer;
 };
 
 } // namespace closer

@@ -106,12 +106,19 @@ ExecResult System::reset(ChoiceProvider &Provider) {
       }
     }
     // Bind process arguments: constants, or environment choices when the
-    // module is still open.
+    // module is still open. A negative environment domain (bad --env-domain
+    // configuration) is reported rather than handed to the explorer, where
+    // it would wrap into a huge option count.
     for (size_t A = 0, AE = Inst.Args.size(); A != AE; ++A) {
-      int64_t V = Inst.Args[A].IsEnv
-                      ? Provider.choose(ChoiceProvider::ChoiceKind::Env,
-                                        Options.EnvDomainBound)
-                      : Inst.Args[A].Value;
+      int64_t V = Inst.Args[A].Value;
+      if (Inst.Args[A].IsEnv) {
+        if (Options.EnvDomainBound < 0)
+          fail(RunErrorKind::BadTossBound, SourceLoc(),
+               "environment domain bound must be a nonnegative integer");
+        V = PendingError ? 0
+                         : Provider.choose(ChoiceProvider::ChoiceKind::Env,
+                                           Options.EnvDomainBound);
+      }
       F.Slots[A].Scalar = Value::makeInt(V);
     }
     P.Frames.push_back(std::move(F));
@@ -554,6 +561,13 @@ ExecResult System::runInvisible(int PIdx, ChoiceProvider &Provider) {
     }
 
     case CfgNodeKind::TossBranch: {
+      if (Node.TossBound < 0) {
+        // A malformed (or corrupted) closed program; report it instead of
+        // letting the explorer enumerate a wrapped-around option range.
+        fail(RunErrorKind::BadTossBound, Node.Loc,
+             "toss branch bound must be a nonnegative integer");
+        break;
+      }
       int64_t Choice = Provider.choose(ChoiceProvider::ChoiceKind::Toss,
                                        Node.TossBound);
       assert(Choice >= 0 && Choice <= Node.TossBound && "bad toss choice");
@@ -619,6 +633,11 @@ ExecResult System::runInvisible(int PIdx, ChoiceProvider &Provider) {
         break;
       }
       case BuiltinKind::EnvInput: {
+        if (Options.EnvDomainBound < 0) {
+          fail(RunErrorKind::BadTossBound, Node.Loc,
+               "environment domain bound must be a nonnegative integer");
+          break;
+        }
         int64_t V = Provider.choose(ChoiceProvider::ChoiceKind::Env,
                                     Options.EnvDomainBound);
         if (Node.Target) {

@@ -7,6 +7,7 @@
 
 #include "explorer/Search.h"
 
+#include "RandomProgram.h"
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
@@ -407,6 +408,47 @@ process m = main();
   SearchStats Stats = Ex.run();
   EXPECT_FALSE(Stats.Completed);
   EXPECT_EQ(Stats.Runs, 10u);
+}
+
+TEST(ExplorerTest, SecondRunStartsFromCleanSlate) {
+  // run() must fully re-initialize the traversal state: a second run on
+  // the same Explorer reports exactly the same statistics and errors as
+  // the first, not a continuation (or corruption) of the previous walk.
+  auto Mod = mustCompile(R"(
+proc main() {
+  var x;
+  x = VS_toss(3);
+  VS_assert(x != 2);
+}
+
+process m = main();
+)");
+  Explorer Ex(*Mod, plainOptions());
+  SearchStats First = Ex.run();
+  std::string FirstStr = First.str();
+  size_t FirstReports = Ex.reports().size();
+  EXPECT_EQ(FirstReports, 1u);
+
+  SearchStats Second = Ex.run();
+  EXPECT_EQ(FirstStr, Second.str());
+  EXPECT_EQ(FirstReports, Ex.reports().size());
+}
+
+TEST(ExplorerTest, SequentialSearchIsDeterministic) {
+  // Two independent explorers over the same module must agree on every
+  // statistic — the search order is a pure function of the module.
+  for (uint64_t Seed : {3u, 1009u}) {
+    auto Mod = mustCompile(randomOpenProgram(Seed));
+    ASSERT_TRUE(Mod) << "seed " << Seed;
+    SearchOptions Opts;
+    Opts.MaxDepth = 10;
+    Explorer A(*Mod, Opts);
+    Explorer B(*Mod, Opts);
+    std::string SA = A.run().str();
+    std::string SB = B.run().str();
+    EXPECT_EQ(SA, SB) << "seed " << Seed;
+    EXPECT_EQ(A.reports().size(), B.reports().size()) << "seed " << Seed;
+  }
 }
 
 } // namespace

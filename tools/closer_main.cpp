@@ -23,6 +23,7 @@
 #include "closing/InterfaceReport.h"
 #include "closing/Pipeline.h"
 #include "envgen/NaiveClose.h"
+#include "explorer/ParallelSearch.h"
 #include "explorer/Replay.h"
 #include "explorer/Search.h"
 #include "switchapp/SwitchApp.h"
@@ -48,8 +49,9 @@ void usage() {
   closer dot <file.mc> <proc>
       Print Graphviz dot for one closed procedure.
   closer explore <file.mc> [--depth N] [--max-runs N] [--no-por]
-                 [--stop-on-error] [--env-domain N] [--open]
+                 [--stop-on-error] [--env-domain N] [--open] [--jobs N]
       Close (unless --open) and systematically explore the state space.
+      --jobs N > 1 explores disjoint subtrees on N worker threads.
   closer naive <file.mc> -D <n>
       Close with the naive explicit environment over domain [0,n]; print.
   closer partition <file.mc> [--max-reps N]
@@ -208,8 +210,12 @@ int cmdExplore(const Args &A) {
   }
   if (A.has("--hash"))
     Opts.UseStateHashing = true;
+  long Jobs = A.valueOf("--jobs", 1);
+  Opts.Jobs = Jobs > 0 ? static_cast<size_t>(Jobs) : 1;
 
-  Explorer Ex(*ToExplore, Opts);
+  // ParallelExplorer with Jobs == 1 runs the plain sequential search, so
+  // the default behavior is untouched.
+  ParallelExplorer Ex(*ToExplore, Opts);
   SearchStats Stats = Ex.run();
   std::printf("%s\n", Stats.str().c_str());
   if (Stats.VisibleOpsCovered < Stats.VisibleOpsTotal) {
