@@ -14,8 +14,65 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace closer {
+
+/// Minimal machine-readable benchmark output: flat records of named
+/// numeric/string fields, written as a JSON array so the perf trajectory
+/// can be tracked across PRs without scraping human-readable tables.
+class BenchJson {
+public:
+  struct Record {
+    std::vector<std::pair<std::string, std::string>> Fields; // Pre-encoded.
+
+    Record &num(const std::string &Key, double V) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+      Fields.emplace_back(Key, Buf);
+      return *this;
+    }
+    Record &count(const std::string &Key, uint64_t V) {
+      Fields.emplace_back(Key, std::to_string(V));
+      return *this;
+    }
+    Record &str(const std::string &Key, const std::string &V) {
+      // Callers pass plain identifiers; no escaping needed.
+      Fields.emplace_back(Key, "\"" + V + "\"");
+      return *this;
+    }
+  };
+
+  Record &record(const std::string &Config) {
+    Records.emplace_back();
+    return Records.back().str("config", Config);
+  }
+
+  bool write(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::fprintf(F, "[\n");
+    for (size_t R = 0; R != Records.size(); ++R) {
+      std::fprintf(F, "  {");
+      const auto &Fields = Records[R].Fields;
+      for (size_t I = 0; I != Fields.size(); ++I)
+        std::fprintf(F, "%s\"%s\": %s", I ? ", " : "",
+                     Fields[I].first.c_str(), Fields[I].second.c_str());
+      std::fprintf(F, "}%s\n", R + 1 != Records.size() ? "," : "");
+    }
+    std::fprintf(F, "]\n");
+    std::fclose(F);
+    std::printf("wrote %s (%zu records)\n", Path.c_str(), Records.size());
+    return true;
+  }
+
+private:
+  std::vector<Record> Records;
+};
 
 /// Compiles or aborts (benchmarks must not measure broken inputs).
 inline std::unique_ptr<Module> benchCompile(const std::string &Source) {

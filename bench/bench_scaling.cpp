@@ -24,6 +24,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 using namespace closer;
 
 namespace {
@@ -125,6 +127,29 @@ BENCHMARK(BM_ExploreJobs)
 int main(int argc, char **argv) {
   std::printf("E4: transformation cost vs program size (expect flat "
               "ns_per_unit — 'essentially linear', paper section 4)\n\n");
+
+  // Machine-readable trajectory of the closing cost (one timed pass per
+  // size; the google-benchmark runs below remain the precise measurement).
+  BenchJson Json;
+  for (size_t N = 128; N <= 8192; N *= 4) {
+    auto Mod = benchCompile(scalingProgram(N));
+    EnvAnalysis Probe(*Mod);
+    size_t DuArcs = 0;
+    for (size_t P = 0; P != Mod->Procs.size(); ++P)
+      DuArcs += Probe.dataflow(P).arcCount();
+    auto T0 = std::chrono::steady_clock::now();
+    Module Closed = closeModule(*Mod);
+    auto T1 = std::chrono::steady_clock::now();
+    double Seconds = std::chrono::duration<double>(T1 - T0).count();
+    size_t Units = Mod->totalNodes() + DuArcs;
+    Json.record("close_N" + std::to_string(N))
+        .count("nodes", Mod->totalNodes())
+        .count("du_arcs", DuArcs)
+        .num("seconds", Seconds)
+        .num("ns_per_unit", Units ? Seconds * 1e9 / Units : 0);
+  }
+  Json.write("BENCH_scaling.json");
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -24,6 +24,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 using namespace closer;
 
 namespace {
@@ -31,14 +33,48 @@ namespace {
 constexpr int FilterReads = 2;
 constexpr uint64_t RunBudget = 400000;
 
-SearchStats explore(const Module &Mod) {
+SearchOptions exploreOptions() {
   SearchOptions Opts;
   Opts.MaxDepth = 16;
   Opts.MaxRuns = RunBudget; // The naive side explodes; cap and report.
   Opts.UsePersistentSets = false;
   Opts.UseSleepSets = false;
+  return Opts;
+}
+
+/// Runs one exploration and reports wall-clock seconds alongside the stats.
+double timedExplore(const Module &Mod, const SearchOptions &Opts,
+                    SearchStats &Out) {
   Explorer Ex(Mod, Opts);
+  auto T0 = std::chrono::steady_clock::now();
+  Out = Ex.run();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+SearchStats explore(const Module &Mod) {
+  Explorer Ex(Mod, exploreOptions());
   return Ex.run();
+}
+
+void emitExploreRecord(BenchJson &Json, const std::string &Config,
+                       const SearchStats &Stats, const SearchOptions &Opts,
+                       double Seconds) {
+  Json.record(Config)
+      .count("checkpoint_interval", Opts.CheckpointInterval)
+      .count("states", Stats.StatesVisited)
+      .count("paths", Stats.Runs)
+      .count("tree_transitions", Stats.TreeTransitions)
+      .count("transitions_executed", Stats.Transitions)
+      .count("transitions_replayed", Stats.TransitionsReplayed)
+      .count("transitions_restored", Stats.TransitionsRestored)
+      .num("seconds", Seconds)
+      .num("states_per_sec",
+           Seconds > 0 ? static_cast<double>(Stats.StatesVisited) / Seconds
+                       : 0)
+      .num("transitions_per_sec",
+           Seconds > 0 ? static_cast<double>(Stats.TreeTransitions) / Seconds
+                       : 0);
 }
 
 void BM_NaiveEnvironment(benchmark::State &State) {
@@ -71,6 +107,8 @@ BENCHMARK(BM_TransformedClosed);
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchJson Json;
+
   // Print the headline series as a table (the "figure" this regenerates).
   std::printf("E3: state-space size, naive most-general environment vs "
               "transformation\n");
@@ -82,24 +120,68 @@ int main(int argc, char **argv) {
   auto Open = benchCompile(filterProgram(FilterReads));
   for (int64_t Domain = 2; Domain <= 1024; Domain *= 2) {
     Module Naive = naiveCloseModule(*Open, {Domain - 1});
-    SearchStats Stats = explore(Naive);
+    SearchStats Stats;
+    double Seconds = timedExplore(Naive, exploreOptions(), Stats);
     std::printf("naive D=%-6lld %12llu %12llu %14llu%s\n",
                 static_cast<long long>(Domain),
                 static_cast<unsigned long long>(Stats.StatesVisited),
                 static_cast<unsigned long long>(Stats.Runs),
                 static_cast<unsigned long long>(Stats.TreeTransitions),
                 Stats.Completed ? "" : "  (run budget hit)");
+    emitExploreRecord(Json, "naive_D" + std::to_string(Domain), Stats,
+                      exploreOptions(), Seconds);
   }
   CloseResult R = closeSource(filterProgram(FilterReads));
-  SearchStats Stats = explore(*R.Closed);
+  SearchStats Stats;
+  double Seconds = timedExplore(*R.Closed, exploreOptions(), Stats);
   std::printf("%-14s %12llu %12llu %14llu\n", "closed (ours)",
               static_cast<unsigned long long>(Stats.StatesVisited),
               static_cast<unsigned long long>(Stats.Runs),
               static_cast<unsigned long long>(Stats.TreeTransitions));
+  emitExploreRecord(Json, "closed", Stats, exploreOptions(), Seconds);
   std::printf("\nThe naive series grows as (D)^%d; the transformed program "
               "is domain-independent\n(2^%d branch paths, one per "
               "even/odd choice sequence).\n\n",
               FilterReads, FilterReads);
+
+  // Checkpointed vs stateless backtracking on the deepest configuration:
+  // two dining philosophers eating many meals build a state space of long
+  // paths, so the stateless search's O(d^2) prefix re-execution dominates
+  // and snapshot restoration pays off most. Tree-shaped stats must match
+  // between the two rows; only executed/replayed/restored counts and wall
+  // time may differ.
+  std::printf("deep series: 2 philosophers x 6 meals, no POR — stateless "
+              "(K=0)\nvs checkpointed (K=4) backtracking\n\n");
+  auto Deep = benchCompile(philosophersProgram(2, 6));
+  SearchOptions DeepOpts;
+  DeepOpts.MaxDepth = 200;
+  DeepOpts.UsePersistentSets = false;
+  DeepOpts.UseSleepSets = false;
+  std::printf("%-18s %12s %14s %12s %14s\n", "variant", "states",
+              "transitions", "seconds", "states/sec");
+  SearchStats Stateless;
+  for (size_t K : {size_t{0}, size_t{4}}) {
+    SearchOptions Opts = DeepOpts;
+    Opts.CheckpointInterval = K;
+    SearchStats S;
+    double Sec = timedExplore(*Deep, Opts, S);
+    std::printf("deep K=%-11zu %12llu %14llu %12.3f %14.0f\n", K,
+                static_cast<unsigned long long>(S.StatesVisited),
+                static_cast<unsigned long long>(S.Transitions), Sec,
+                Sec > 0 ? static_cast<double>(S.StatesVisited) / Sec : 0);
+    emitExploreRecord(Json, "deep_K" + std::to_string(K), S, Opts, Sec);
+    if (K == 0)
+      Stateless = S;
+    else if (S.StatesVisited != Stateless.StatesVisited ||
+             S.TreeTransitions != Stateless.TreeTransitions) {
+      std::fprintf(stderr, "checkpointed tree stats diverged from "
+                           "stateless!\n");
+      return 1;
+    }
+  }
+  std::printf("\n");
+
+  Json.write("BENCH_statespace.json");
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -146,6 +146,8 @@ void accumulate(SearchStats &Into, const SearchStats &From) {
   Into.Runs += From.Runs;
   Into.Transitions += From.Transitions;
   Into.TreeTransitions += From.TreeTransitions;
+  Into.TransitionsReplayed += From.TransitionsReplayed;
+  Into.TransitionsRestored += From.TransitionsRestored;
   Into.StatesVisited += From.StatesVisited;
   Into.Deadlocks += From.Deadlocks;
   Into.Terminations += From.Terminations;

@@ -21,6 +21,8 @@ std::string SearchStats::str() const {
   Out += " states=" + std::to_string(StatesVisited);
   Out += " tree-transitions=" + std::to_string(TreeTransitions);
   Out += " transitions=" + std::to_string(Transitions);
+  Out += " transitions-replayed=" + std::to_string(TransitionsReplayed);
+  Out += " transitions-restored=" + std::to_string(TransitionsRestored);
   Out += " deadlocks=" + std::to_string(Deadlocks);
   Out += " terminations=" + std::to_string(Terminations);
   Out += " assertion-violations=" + std::to_string(AssertionViolations);
@@ -277,8 +279,25 @@ bool Explorer::runOnce() {
     }
   };
 
-  ExecResult Init = Sys.reset(Provider);
-  HandleExec(Init);
+  // Checkpointed backtracking: drop snapshots that point past the surviving
+  // path, then restore the deepest remaining one instead of re-executing
+  // the prefix from the initial state. A checkpoint captures the state
+  // *before* decision Ckpts.back().Cursor executes, so the replay below
+  // resumes there and runs only the suffix. Checkpoints never sit at cursor
+  // 0, so a fresh path (which must report initialization errors) always
+  // takes the reset branch.
+  while (!Ckpts.empty() && Ckpts.back().Cursor >= Path.size())
+    Ckpts.pop_back();
+  if (!Ckpts.empty()) {
+    const Checkpoint &C = Ckpts.back();
+    Sys.restore(C.Snap);
+    Cursor = C.Cursor;
+    CurSleep = C.Sleep;
+    Stats.TransitionsRestored += C.Snap.depth();
+  } else {
+    ExecResult Init = Sys.reset(Provider);
+    HandleExec(Init);
+  }
   if (stopRequested())
     return false;
 
@@ -383,6 +402,8 @@ bool Explorer::runOnce() {
       return true;
     }
 
+    maybeCheckpoint(CurSleep);
+
     Decision &D = Path[Cursor];
     assert(D.K == Decision::Kind::Sched && "expected a scheduling decision");
     if (Cursor >= FreshFrom)
@@ -419,11 +440,33 @@ bool Explorer::runOnce() {
     ++Stats.Transitions;
     if (FreshMode)
       ++Stats.TreeTransitions;
+    else
+      ++Stats.TransitionsReplayed;
     HandleExec(R);
     if (stopRequested())
       return false;
     CurSleep = std::move(NewSleep);
   }
+}
+
+void Explorer::maybeCheckpoint(const std::vector<int> &CurSleep) {
+  const size_t K = Options.CheckpointInterval;
+  if (K == 0)
+    return;
+  // Interval rule: one snapshot every K global states along the path. A
+  // worker with a pinned prefix (Floor > 0) additionally snapshots right
+  // after its prefix replay, so the prefix is re-executed at most once per
+  // work item instead of once per leaf.
+  const size_t LastDepth = Ckpts.empty() ? 0 : Ckpts.back().Snap.depth();
+  const bool Due = Sys.depth() >= LastDepth + K;
+  const bool ForcePrefix = Floor > 0 && Cursor >= Floor && Ckpts.empty();
+  if (!Due && !ForcePrefix)
+    return;
+  Checkpoint C;
+  C.Cursor = Cursor;
+  C.Sleep = CurSleep;
+  C.Snap = Sys.snapshot();
+  Ckpts.push_back(std::move(C));
 }
 
 bool Explorer::backtrack() {
@@ -450,6 +493,7 @@ SearchStats Explorer::run() {
   CoveredOps.clear();
   Path.clear();
   Cursor = 0;
+  Ckpts.clear();
   StopFlag = false;
   Floor = 0;
   SeedPrefix.clear();

@@ -71,6 +71,12 @@ struct SearchOptions {
   /// handing subtrees to workers (0 = derive from Jobs). Only read by
   /// ParallelExplorer.
   size_t SplitDepth = 0;
+  /// Keep a System snapshot every this many global states along the DFS
+  /// stack and, on backtrack, restore the nearest one instead of
+  /// re-executing the whole choice prefix (0 = pure stateless search, the
+  /// paper's baseline). Any value yields bit-identical tree-shaped stats;
+  /// only Transitions/TransitionsReplayed/TransitionsRestored move.
+  size_t CheckpointInterval = 0;
   SystemOptions Runtime;
 };
 
@@ -87,6 +93,13 @@ struct SearchStats {
   uint64_t Runs = 0;             ///< Completed path replays.
   uint64_t Transitions = 0;      ///< Transitions executed, incl. replays.
   uint64_t TreeTransitions = 0;  ///< Distinct search-tree edges.
+  /// Prefix transitions re-executed during replay (the stateless-search
+  /// overhead checkpointing attacks); Transitions = TreeTransitions +
+  /// TransitionsReplayed.
+  uint64_t TransitionsReplayed = 0;
+  /// Prefix transitions skipped by restoring a checkpoint instead of
+  /// re-executing them (0 in pure stateless mode).
+  uint64_t TransitionsRestored = 0;
   uint64_t StatesVisited = 0;    ///< Distinct tree nodes (global states).
   uint64_t Deadlocks = 0;
   uint64_t Terminations = 0;
@@ -170,10 +183,24 @@ private:
 
   class PathProvider;
 
+  /// A snapshot of the System just before executing decision Path[Cursor],
+  /// with the sleep set in force at that point. Stays valid while the
+  /// decision survives backtracking (Cursor < Path.size()) — the decision's
+  /// Chosen branch may change underneath it, since the snapshot captures
+  /// the state *before* the choice is acted on.
+  struct Checkpoint {
+    size_t Cursor = 0;
+    std::vector<int> Sleep;
+    SystemSnapshot Snap;
+  };
+
   /// Executes one full path following (and extending) Path. Returns false
   /// when the global stop condition triggered.
   bool runOnce();
   bool backtrack();
+  /// Snapshots the state before executing Path[Cursor] when the checkpoint
+  /// interval (or a worker's pinned prefix) calls for it.
+  void maybeCheckpoint(const std::vector<int> &CurSleep);
   std::vector<ReplayStep> currentChoices() const;
   std::vector<int> schedCandidates(const std::vector<int> &Enabled,
                                    const std::vector<int> &Sleep,
@@ -198,6 +225,7 @@ private:
   void beginSubtree(std::vector<ReplayStep> Prefix, size_t FreshFrom) {
     Path.clear();
     Cursor = 0;
+    Ckpts.clear(); // Snapshots index into the abandoned path.
     Floor = Prefix.size();
     SeedPrefix = std::move(Prefix);
     SeedCursor = 0;
@@ -210,6 +238,9 @@ private:
   System Sys;
   std::vector<Decision> Path;
   size_t Cursor = 0;
+  /// Checkpoints along the current path, shallowest first (strictly
+  /// increasing Cursor). Empty when CheckpointInterval is 0.
+  std::vector<Checkpoint> Ckpts;
   SearchStats Stats;
   std::vector<ErrorReport> Reports;
   std::unordered_set<uint64_t> SeenHashes;

@@ -42,8 +42,79 @@ System::System(const Module &Mod, SystemOptions Options)
       L.ArraySizes.push_back(Local.ArraySize);
     }
   }
+  buildResolutionCaches();
   ZeroChoiceProvider Zero;
   reset(Zero);
+}
+
+//===----------------------------------------------------------------------===//
+// Resolution caches
+//===----------------------------------------------------------------------===//
+
+void System::cacheExprTree(int ProcIdx, const Expr *E) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::VarRef || E->Kind == ExprKind::ArrayIndex) {
+    const ProcLayout &L = Layouts[static_cast<size_t>(ProcIdx)];
+    auto It = L.SlotOf.find(E->Name);
+    if (It != L.SlotOf.end()) {
+      VarSlotCache.emplace(E, static_cast<int32_t>(It->second));
+    } else {
+      for (size_t I = 0, N = Mod.Globals.size(); I != N; ++I)
+        if (Mod.Globals[I].Name == E->Name) {
+          VarSlotCache.emplace(E, ~static_cast<int32_t>(I));
+          break;
+        }
+      // Unresolvable names stay out of the cache; execution reports them
+      // through the slow path exactly as before.
+    }
+  }
+  cacheExprTree(ProcIdx, E->Lhs.get());
+  cacheExprTree(ProcIdx, E->Rhs.get());
+  for (const ExprPtr &Arg : E->Args)
+    cacheExprTree(ProcIdx, Arg.get());
+}
+
+void System::buildResolutionCaches() {
+  for (size_t P = 0, E = Mod.Procs.size(); P != E; ++P) {
+    int ProcIdx = static_cast<int>(P);
+    for (const CfgNode &Node : Mod.Procs[P].Nodes) {
+      cacheExprTree(ProcIdx, Node.Target.get());
+      cacheExprTree(ProcIdx, Node.Value.get());
+      for (const ExprPtr &Arg : Node.Args)
+        cacheExprTree(ProcIdx, Arg.get());
+      if (Node.Kind == CfgNodeKind::Call &&
+          builtinInfo(Node.Builtin).TakesObject && !Node.Args.empty()) {
+        int Obj = Mod.commIndex(Node.Args[0]->Name);
+        if (Obj >= 0)
+          CommIdxCache.emplace(&Node, Obj);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpointing
+//===----------------------------------------------------------------------===//
+
+SystemSnapshot System::snapshot() const {
+  SystemSnapshot S;
+  S.Processes = Processes;
+  S.Comms = Comms;
+  S.EventTrace = EventTrace;
+  S.NumTransitions = NumTransitions;
+  return S;
+}
+
+void System::restore(const SystemSnapshot &S) {
+  Processes = S.Processes;
+  Comms = S.Comms;
+  EventTrace = S.EventTrace;
+  NumTransitions = S.NumTransitions;
+  // Snapshots are taken at transition boundaries, where no error is in
+  // flight and no process is mid-execution.
+  PendingError = RunError();
+  CurrentProcess = -1;
 }
 
 ExecResult System::reset(ChoiceProvider &Provider) {
@@ -157,8 +228,8 @@ void System::fail(RunErrorKind Kind, SourceLoc Loc,
 // Store access
 //===----------------------------------------------------------------------===//
 
-System::Slot *System::resolveSlot(ProcessRT &P, const std::string &Name,
-                                  Frame **OwnerFrame) {
+System::Slot *System::resolveSlotSlow(ProcessRT &P, const std::string &Name,
+                                      Frame **OwnerFrame) {
   Frame &F = P.Frames.back();
   const ProcLayout &L = Layouts[F.ProcIdx];
   auto It = L.SlotOf.find(Name);
@@ -180,16 +251,33 @@ System::Slot *System::resolveSlot(ProcessRT &P, const std::string &Name,
   return &P.Globals[GlobalIdx];
 }
 
-Value System::loadVar(ProcessRT &P, const std::string &Name) {
-  Slot *S = resolveSlot(P, Name, nullptr);
+System::Slot *System::resolveSlot(ProcessRT &P, const Expr *E,
+                                  Frame **OwnerFrame) {
+  auto It = VarSlotCache.find(E);
+  if (It == VarSlotCache.end())
+    return resolveSlotSlow(P, E->Name, OwnerFrame);
+  int32_t Code = It->second;
+  if (Code >= 0) {
+    Frame &F = P.Frames.back();
+    if (OwnerFrame)
+      *OwnerFrame = &F;
+    return &F.Slots[static_cast<size_t>(Code)];
+  }
+  if (OwnerFrame)
+    *OwnerFrame = nullptr;
+  return &P.Globals[static_cast<size_t>(~Code)];
+}
+
+Value System::loadVar(ProcessRT &P, const Expr *E) {
+  Slot *S = resolveSlot(P, E, nullptr);
   if (!S) {
     fail(RunErrorKind::BadPointer, SourceLoc(),
-         "reference to unknown variable '" + Name + "'");
+         "reference to unknown variable '" + E->Name + "'");
     return Value::makeInt(0);
   }
   if (S->IsArray) {
     fail(RunErrorKind::BadPointer, SourceLoc(),
-         "array '" + Name + "' used as a scalar");
+         "array '" + E->Name + "' used as a scalar");
     return Value::makeInt(0);
   }
   return S->Scalar;
@@ -197,27 +285,40 @@ Value System::loadVar(ProcessRT &P, const std::string &Name) {
 
 bool System::addressOf(ProcessRT &P, const Expr *Place, Address &Out) {
   // Locate the slot and encode its position.
-  Frame &F = P.Frames.back();
-  const ProcLayout &L = Layouts[F.ProcIdx];
-  auto It = L.SlotOf.find(Place->Name);
-  if (It != L.SlotOf.end()) {
-    Out.Sp = Address::Space::Frame;
-    Out.FrameIndex = static_cast<uint32_t>(P.Frames.size() - 1);
-    Out.SlotIndex = It->second;
-  } else {
-    int GlobalIdx = -1;
-    for (size_t I = 0, E = Mod.Globals.size(); I != E; ++I)
-      if (Mod.Globals[I].Name == Place->Name) {
-        GlobalIdx = static_cast<int>(I);
-        break;
-      }
-    if (GlobalIdx < 0) {
-      fail(RunErrorKind::BadPointer, Place->Loc,
-           "address of unknown variable '" + Place->Name + "'");
-      return false;
+  auto Cached = VarSlotCache.find(Place);
+  if (Cached != VarSlotCache.end()) {
+    int32_t Code = Cached->second;
+    if (Code >= 0) {
+      Out.Sp = Address::Space::Frame;
+      Out.FrameIndex = static_cast<uint32_t>(P.Frames.size() - 1);
+      Out.SlotIndex = static_cast<uint32_t>(Code);
+    } else {
+      Out.Sp = Address::Space::Global;
+      Out.SlotIndex = static_cast<uint32_t>(~Code);
     }
-    Out.Sp = Address::Space::Global;
-    Out.SlotIndex = static_cast<uint32_t>(GlobalIdx);
+  } else {
+    Frame &F = P.Frames.back();
+    const ProcLayout &L = Layouts[F.ProcIdx];
+    auto It = L.SlotOf.find(Place->Name);
+    if (It != L.SlotOf.end()) {
+      Out.Sp = Address::Space::Frame;
+      Out.FrameIndex = static_cast<uint32_t>(P.Frames.size() - 1);
+      Out.SlotIndex = It->second;
+    } else {
+      int GlobalIdx = -1;
+      for (size_t I = 0, E = Mod.Globals.size(); I != E; ++I)
+        if (Mod.Globals[I].Name == Place->Name) {
+          GlobalIdx = static_cast<int>(I);
+          break;
+        }
+      if (GlobalIdx < 0) {
+        fail(RunErrorKind::BadPointer, Place->Loc,
+             "address of unknown variable '" + Place->Name + "'");
+        return false;
+      }
+      Out.Sp = Address::Space::Global;
+      Out.SlotIndex = static_cast<uint32_t>(GlobalIdx);
+    }
   }
   Out.ElemIndex = -1;
   if (Place->Kind == ExprKind::ArrayIndex) {
@@ -308,7 +409,7 @@ void System::storeAddress(ProcessRT &P, const Address &A, Value V) {
 void System::store(ProcessRT &P, const Expr *Lvalue, Value V) {
   switch (Lvalue->Kind) {
   case ExprKind::VarRef: {
-    Slot *S = resolveSlot(P, Lvalue->Name, nullptr);
+    Slot *S = resolveSlot(P, Lvalue, nullptr);
     if (!S) {
       fail(RunErrorKind::BadPointer, Lvalue->Loc,
            "assignment to unknown variable '" + Lvalue->Name + "'");
@@ -370,7 +471,7 @@ Value System::eval(ProcessRT &P, const Expr *E) {
   case ExprKind::Unknown:
     return Value::makeUnknown();
   case ExprKind::VarRef:
-    return loadVar(P, E->Name);
+    return loadVar(P, E);
   case ExprKind::ArrayIndex: {
     Address A;
     if (!addressOf(P, E, A))
@@ -722,7 +823,7 @@ int System::currentVisibleObject(int P) const {
   const CfgNode &Node = currentNode(Proc);
   if (!builtinInfo(Node.Builtin).TakesObject)
     return -1;
-  return Mod.commIndex(Node.Args[0]->Name);
+  return commOf(Node);
 }
 
 BuiltinKind System::currentVisibleOp(int P) const {
@@ -739,16 +840,16 @@ bool System::processEnabled(int P) const {
   const CfgNode &Node = currentNode(Proc);
   switch (Node.Builtin) {
   case BuiltinKind::Send: {
-    int Obj = Mod.commIndex(Node.Args[0]->Name);
+    int Obj = commOf(Node);
     return static_cast<int64_t>(Comms[Obj].Items.size()) <
            Mod.Comms[Obj].Param;
   }
   case BuiltinKind::Recv: {
-    int Obj = Mod.commIndex(Node.Args[0]->Name);
+    int Obj = commOf(Node);
     return !Comms[Obj].Items.empty();
   }
   case BuiltinKind::SemWait: {
-    int Obj = Mod.commIndex(Node.Args[0]->Name);
+    int Obj = commOf(Node);
     return Comms[Obj].Count > 0;
   }
   case BuiltinKind::SemSignal:
@@ -799,7 +900,7 @@ void System::execVisible(int PIdx, ChoiceProvider &, ExecResult &Result) {
 
   switch (Node.Builtin) {
   case BuiltinKind::Send: {
-    int Obj = Mod.commIndex(Node.Args[0]->Name);
+    int Obj = commOf(Node);
     Value V = eval(P, Node.Args[1].get());
     if (PendingError)
       break;
@@ -809,7 +910,7 @@ void System::execVisible(int PIdx, ChoiceProvider &, ExecResult &Result) {
     break;
   }
   case BuiltinKind::Recv: {
-    int Obj = Mod.commIndex(Node.Args[0]->Name);
+    int Obj = commOf(Node);
     assert(!Comms[Obj].Items.empty() && "recv on empty channel");
     Value V = Comms[Obj].Items.front();
     Comms[Obj].Items.pop_front();
@@ -820,18 +921,18 @@ void System::execVisible(int PIdx, ChoiceProvider &, ExecResult &Result) {
     break;
   }
   case BuiltinKind::SemWait: {
-    int Obj = Mod.commIndex(Node.Args[0]->Name);
+    int Obj = commOf(Node);
     assert(Comms[Obj].Count > 0 && "wait on zero semaphore");
     --Comms[Obj].Count;
     break;
   }
   case BuiltinKind::SemSignal: {
-    int Obj = Mod.commIndex(Node.Args[0]->Name);
+    int Obj = commOf(Node);
     ++Comms[Obj].Count;
     break;
   }
   case BuiltinKind::SharedWrite: {
-    int Obj = Mod.commIndex(Node.Args[0]->Name);
+    int Obj = commOf(Node);
     Value V = eval(P, Node.Args[1].get());
     if (PendingError)
       break;
@@ -841,7 +942,7 @@ void System::execVisible(int PIdx, ChoiceProvider &, ExecResult &Result) {
     break;
   }
   case BuiltinKind::SharedRead: {
-    int Obj = Mod.commIndex(Node.Args[0]->Name);
+    int Obj = commOf(Node);
     Value V = Comms[Obj].Shared;
     if (Node.Target)
       store(P, Node.Target.get(), V);

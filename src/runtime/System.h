@@ -116,6 +116,8 @@ enum class GlobalStateKind {
   Deadlock,    ///< No transition enabled but some process still waits.
 };
 
+class SystemSnapshot;
+
 class System {
 public:
   /// Binds the runtime to \p Mod (kept by reference; must outlive the
@@ -148,6 +150,22 @@ public:
 
   /// Number of transitions executed since the last reset (search depth).
   size_t depth() const { return NumTransitions; }
+
+  //===--------------------------------------------------------------------===//
+  // Checkpointing
+  //===--------------------------------------------------------------------===//
+
+  /// Captures the full dynamic state (per-process frames/slots/PCs,
+  /// communication objects, trace, transition count) as a value. Intended
+  /// to be taken at transition boundaries (no execution in flight), where
+  /// it is an exact substitute for re-executing the choice prefix that led
+  /// here: restore() followed by the same transitions is indistinguishable
+  /// from a fresh reset-and-replay, including fingerprints and traces.
+  SystemSnapshot snapshot() const;
+
+  /// Restores the state captured by snapshot(). The snapshot must come
+  /// from a System bound to the same Module.
+  void restore(const SystemSnapshot &S);
 
   //===--------------------------------------------------------------------===//
   // Introspection for the explorer
@@ -210,8 +228,10 @@ private:
   // Evaluation. On error, sets PendingError and returns a zero value;
   // callers bail out when PendingError is set.
   Value eval(ProcessRT &P, const Expr *E);
-  Value loadVar(ProcessRT &P, const std::string &Name);
-  Slot *resolveSlot(ProcessRT &P, const std::string &Name, Frame **OwnerFrame);
+  Value loadVar(ProcessRT &P, const Expr *E);
+  Slot *resolveSlotSlow(ProcessRT &P, const std::string &Name,
+                        Frame **OwnerFrame);
+  Slot *resolveSlot(ProcessRT &P, const Expr *E, Frame **OwnerFrame);
   Value loadAddress(ProcessRT &P, const Address &A);
   void storeAddress(ProcessRT &P, const Address &A, Value V);
   bool addressOf(ProcessRT &P, const Expr *Place, Address &Out);
@@ -234,15 +254,55 @@ private:
     return Mod.Procs[F.ProcIdx].Nodes[F.PC];
   }
 
+  // Steady-state interpretation must not hash strings: variable references
+  // and communication-object operands are resolved once, at construction,
+  // into pointer-keyed caches (an Expr always executes with its owning
+  // procedure's frame on top, so the resolution is unambiguous).
+  void buildResolutionCaches();
+  void cacheExprTree(int ProcIdx, const Expr *E);
+  /// Communication-object index of a visible Call node (-1 if unknown).
+  int commOf(const CfgNode &Node) const {
+    auto It = CommIdxCache.find(&Node);
+    return It != CommIdxCache.end() ? It->second
+                                    : Mod.commIndex(Node.Args[0]->Name);
+  }
+
   const Module &Mod;
   SystemOptions Options;
   std::vector<ProcLayout> Layouts; ///< Parallel to Mod.Procs.
+  /// VarRef/ArrayIndex expression -> slot code: >= 0 is a frame slot index
+  /// of the owning procedure's layout; < 0 encodes global slot ~code.
+  std::unordered_map<const Expr *, int32_t> VarSlotCache;
+  /// Visible/comm Call node -> index into Mod.Comms.
+  std::unordered_map<const CfgNode *, int> CommIdxCache;
   std::vector<ProcessRT> Processes;
   std::vector<CommState> Comms; ///< Parallel to Mod.Comms.
   Trace EventTrace;
   size_t NumTransitions = 0;
   RunError PendingError;
   int CurrentProcess = -1; ///< During execution, for error attribution.
+
+  friend class SystemSnapshot;
+};
+
+/// A value-type copy of a System's full dynamic state, produced by
+/// System::snapshot() and consumed by System::restore(). Cheap to copy and
+/// assign; the explorer keeps a small stack of these along its DFS path so
+/// backtracking can restore a prefix instead of re-executing it.
+class SystemSnapshot {
+public:
+  SystemSnapshot() = default;
+
+  /// Transition count at capture time (the search depth restore() rewinds
+  /// to) — what a checkpointed search saves per restore.
+  size_t depth() const { return NumTransitions; }
+
+private:
+  friend class System;
+  std::vector<System::ProcessRT> Processes;
+  std::vector<System::CommState> Comms;
+  Trace EventTrace;
+  size_t NumTransitions = 0;
 };
 
 } // namespace closer

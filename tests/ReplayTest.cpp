@@ -8,6 +8,7 @@
 #include "explorer/Replay.h"
 
 #include "explorer/Search.h"
+#include "support/Random.h"
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
@@ -160,6 +161,79 @@ process m = main();
   // Toss step where a schedule is expected.
   ReplayResult R2 = replayChoices(*Mod, {{ReplayStep::Kind::Toss, 0}});
   EXPECT_FALSE(R2.Faithful);
+}
+
+TEST(ReplayTest, RoundTripRandomSequences) {
+  // Property: toString then parse is the identity on any step sequence,
+  // and the rendering is a fixed point of the round trip.
+  Rng R(2026);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    std::vector<ReplayStep> Steps;
+    size_t Len = R.below(24);
+    for (size_t I = 0; I != Len; ++I) {
+      ReplayStep S;
+      switch (R.below(3)) {
+      case 0: S.K = ReplayStep::Kind::Sched; break;
+      case 1: S.K = ReplayStep::Kind::Toss; break;
+      default: S.K = ReplayStep::Kind::Env; break;
+      }
+      S.Value = static_cast<int64_t>(R.below(1000));
+      Steps.push_back(S);
+    }
+    std::string Text = replayToString(Steps);
+    std::vector<ReplayStep> Parsed;
+    ASSERT_TRUE(parseReplay(Text, Parsed)) << Text;
+    ASSERT_EQ(Parsed.size(), Steps.size()) << Text;
+    for (size_t I = 0; I != Steps.size(); ++I) {
+      EXPECT_EQ(Parsed[I].K, Steps[I].K) << Text << " step " << I;
+      EXPECT_EQ(Parsed[I].Value, Steps[I].Value) << Text << " step " << I;
+    }
+    EXPECT_EQ(replayToString(Parsed), Text);
+  }
+}
+
+TEST(ReplayTest, ParseRejectsMalformedInputs) {
+  for (const char *Bad :
+       {"q3", "s1 x2", "t", "7", "s1 t", "e5 s", "s1s2"}) {
+    std::vector<ReplayStep> Out;
+    EXPECT_FALSE(parseReplay(Bad, Out)) << "accepted: " << Bad;
+  }
+}
+
+TEST(ReplayTest, UnfaithfulOnMissingAndSurplusChoices) {
+  auto Mod = mustCompile(R"(
+chan c[4];
+
+proc main() {
+  var x;
+  send(c, 7);
+  x = VS_toss(1);
+  send(c, x);
+}
+
+process m = main();
+)");
+  // The full faithful sequence: schedule the only process, supply its
+  // toss, schedule it again to completion.
+  std::vector<ReplayStep> Full = {{ReplayStep::Kind::Sched, 0},
+                                  {ReplayStep::Kind::Toss, 1},
+                                  {ReplayStep::Kind::Sched, 0}};
+  ReplayResult Ok = replayChoices(*Mod, Full);
+  EXPECT_TRUE(Ok.Faithful);
+  EXPECT_EQ(Ok.Final, GlobalStateKind::Termination);
+
+  // Missing choice: the second transition consumes a toss mid-transition;
+  // with the recording exhausted the replay cannot be faithful.
+  ReplayResult Missing =
+      replayChoices(*Mod, {{ReplayStep::Kind::Sched, 0}});
+  EXPECT_FALSE(Missing.Faithful);
+
+  // Surplus choice: a trailing schedule of an already-halted process is a
+  // step the original run never took.
+  std::vector<ReplayStep> Surplus = Full;
+  Surplus.push_back({ReplayStep::Kind::Sched, 0});
+  ReplayResult Extra = replayChoices(*Mod, Surplus);
+  EXPECT_FALSE(Extra.Faithful);
 }
 
 TEST(ReplayTest, ReportRenderingIncludesReplayLine) {
