@@ -9,12 +9,12 @@
 #define CLOSER_BENCH_BENCHUTIL_H
 
 #include "closing/Pipeline.h"
+#include "support/Json.h"
 #include "support/Random.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <utility>
 #include <vector>
 
 namespace closer {
@@ -22,24 +22,24 @@ namespace closer {
 /// Minimal machine-readable benchmark output: flat records of named
 /// numeric/string fields, written as a JSON array so the perf trajectory
 /// can be tracked across PRs without scraping human-readable tables.
+/// Serialization rides on the shared json::Value writer (the same one
+/// behind `closer explore --stats-json`), keeping the historical one
+/// compact record per line framing.
 class BenchJson {
 public:
   struct Record {
-    std::vector<std::pair<std::string, std::string>> Fields; // Pre-encoded.
+    json::Value Obj = json::Value::object();
 
     Record &num(const std::string &Key, double V) {
-      char Buf[64];
-      std::snprintf(Buf, sizeof(Buf), "%.9g", V);
-      Fields.emplace_back(Key, Buf);
+      Obj.add(Key, V);
       return *this;
     }
     Record &count(const std::string &Key, uint64_t V) {
-      Fields.emplace_back(Key, std::to_string(V));
+      Obj.add(Key, V);
       return *this;
     }
     Record &str(const std::string &Key, const std::string &V) {
-      // Callers pass plain identifiers; no escaping needed.
-      Fields.emplace_back(Key, "\"" + V + "\"");
+      Obj.add(Key, V);
       return *this;
     }
   };
@@ -56,14 +56,9 @@ public:
       return false;
     }
     std::fprintf(F, "[\n");
-    for (size_t R = 0; R != Records.size(); ++R) {
-      std::fprintf(F, "  {");
-      const auto &Fields = Records[R].Fields;
-      for (size_t I = 0; I != Fields.size(); ++I)
-        std::fprintf(F, "%s\"%s\": %s", I ? ", " : "",
-                     Fields[I].first.c_str(), Fields[I].second.c_str());
-      std::fprintf(F, "}%s\n", R + 1 != Records.size() ? "," : "");
-    }
+    for (size_t R = 0; R != Records.size(); ++R)
+      std::fprintf(F, "  %s%s\n", Records[R].Obj.str().c_str(),
+                   R + 1 != Records.size() ? "," : "");
     std::fprintf(F, "]\n");
     std::fclose(F);
     std::printf("wrote %s (%zu records)\n", Path.c_str(), Records.size());

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# check.sh - the repo's one-stop verification gate.
+#
+# Runs the tier-1 line (configure, build, full ctest), then validates the
+# machine-readable artifacts the tree emits:
+#   * any BENCH_*.json benchmark outputs lying around the build tree must
+#     parse as JSON arrays of flat records with a "config" field;
+#   * a smoke `closer explore --time-budget ... --stats-json` run on the
+#     generated switchapp must produce a schema-tagged, well-formed
+#     artifact even when the search is cut short.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j
+(cd "$BUILD" && ctest --output-on-failure -j)
+
+echo "== artifact schema checks =="
+PY=python3
+command -v "$PY" >/dev/null || PY=python
+if ! command -v "$PY" >/dev/null; then
+  echo "warning: no python available; skipping JSON validation" >&2
+  exit 0
+fi
+
+validate_bench() {
+  "$PY" - "$1" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+assert isinstance(data, list), f"{path}: top level must be an array"
+for rec in data:
+    assert isinstance(rec, dict), f"{path}: records must be objects"
+    assert "config" in rec, f"{path}: record missing 'config'"
+print(f"ok: {path} ({len(data)} records)")
+EOF
+}
+
+found=0
+while IFS= read -r bench_json; do
+  found=1
+  validate_bench "$bench_json"
+done < <(find "$BUILD" -maxdepth 2 -name 'BENCH_*.json' | sort)
+[ "$found" = 1 ] || echo "note: no BENCH_*.json artifacts in $BUILD (benches not run)"
+
+echo "== explore --stats-json smoke =="
+CLOSER="$BUILD/tools/closer"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+"$CLOSER" gen-switchapp --lines 3 --trunks 2 > "$TMP/switchapp.mc"
+# Exit 2 means the search reported errors - fine for a smoke run.
+rc=0
+"$CLOSER" explore "$TMP/switchapp.mc" --depth 30 --max-runs 100000000 \
+  --time-budget 1 --jobs 4 --stats-json "$TMP/stats.json" \
+  >/dev/null 2>&1 || rc=$?
+if [ "$rc" != 0 ] && [ "$rc" != 2 ]; then
+  echo "error: explore smoke run exited with $rc" >&2
+  exit 1
+fi
+"$PY" - "$TMP/stats.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    art = json.load(f)
+assert art["schema"] == "closer-explore-stats-v1", art.get("schema")
+for key in ("stats", "options", "workers", "reports", "resume"):
+    assert key in art, f"missing '{key}'"
+assert art["stats"]["states_visited"] > 0, "empty run"
+if art["interrupted"]:
+    assert art["resume"], "interrupted run must carry resume prefixes"
+print(f"ok: {path} (interrupted={art['interrupted']}, "
+      f"states={art['stats']['states_visited']})")
+EOF
+
+echo "== all checks passed =="

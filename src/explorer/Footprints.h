@@ -25,27 +25,39 @@
 
 #include "cfg/Cfg.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 namespace closer {
 
-/// A set of communication-object indices, packed as bits.
+/// A set of communication-object indices, packed as bits. All operations
+/// size-normalize: sets sized for different object counts (in particular a
+/// default-constructed, zero-word set) combine as if the shorter one were
+/// padded with zeros, instead of reading or writing out of bounds.
 class ObjSet {
 public:
   ObjSet() = default;
   explicit ObjSet(size_t NumObjects)
       : Words((NumObjects + 63) / 64, 0) {}
 
-  void set(size_t Index) { Words[Index / 64] |= 1ull << (Index % 64); }
+  void set(size_t Index) {
+    size_t W = Index / 64;
+    if (W >= Words.size())
+      Words.resize(W + 1, 0);
+    Words[W] |= 1ull << (Index % 64);
+  }
   bool test(size_t Index) const {
-    return (Words[Index / 64] >> (Index % 64)) & 1;
+    size_t W = Index / 64;
+    return W < Words.size() && ((Words[W] >> (Index % 64)) & 1);
   }
 
   /// Union-in; returns true when this set grew.
   bool unionWith(const ObjSet &Other) {
+    if (Words.size() < Other.Words.size())
+      Words.resize(Other.Words.size(), 0);
     bool Grew = false;
-    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+    for (size_t I = 0, E = Other.Words.size(); I != E; ++I) {
       uint64_t Before = Words[I];
       Words[I] |= Other.Words[I];
       Grew |= Words[I] != Before;
@@ -54,7 +66,8 @@ public:
   }
 
   bool intersects(const ObjSet &Other) const {
-    for (size_t I = 0, E = Words.size(); I != E; ++I)
+    size_t E = std::min(Words.size(), Other.Words.size());
+    for (size_t I = 0; I != E; ++I)
       if (Words[I] & Other.Words[I])
         return true;
     return false;
@@ -67,8 +80,19 @@ public:
     return true;
   }
 
+  /// Content equality: trailing zero words are not distinguishing, so sets
+  /// sized for different object counts can still compare equal.
   friend bool operator==(const ObjSet &A, const ObjSet &B) {
-    return A.Words == B.Words;
+    size_t E = std::min(A.Words.size(), B.Words.size());
+    for (size_t I = 0; I != E; ++I)
+      if (A.Words[I] != B.Words[I])
+        return false;
+    const std::vector<uint64_t> &Longer =
+        A.Words.size() >= B.Words.size() ? A.Words : B.Words;
+    for (size_t I = E; I != Longer.size(); ++I)
+      if (Longer[I])
+        return false;
+    return true;
   }
 
 private:

@@ -9,10 +9,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
+#include <iterator>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 using namespace closer;
 
@@ -33,6 +37,7 @@ public:
       if (Drained)
         return;
       Q.push_back(std::move(Item));
+      Size.store(Q.size(), std::memory_order_relaxed);
     }
     CV.notify_one();
   }
@@ -42,6 +47,7 @@ public:
       std::lock_guard<std::mutex> Lock(M);
       for (WorkItem &I : Items)
         Q.push_back(std::move(I));
+      Size.store(Q.size(), std::memory_order_relaxed);
     }
     CV.notify_all();
   }
@@ -56,6 +62,7 @@ public:
       if (!Q.empty()) {
         Out = std::move(Q.front());
         Q.pop_front();
+        Size.store(Q.size(), std::memory_order_relaxed);
         return true;
       }
       ++Idle;
@@ -77,12 +84,27 @@ public:
   /// donation; it never affects which states get explored.
   bool starving() const { return Starving.load(std::memory_order_relaxed); }
 
+  /// Lock-free queue-length snapshot for the progress monitor; may be
+  /// momentarily stale, which only affects the printed frontier number.
+  size_t size() const { return Size.load(std::memory_order_relaxed); }
+
   void requestStop() {
     {
       std::lock_guard<std::mutex> Lock(M);
       Stopped = true;
     }
     CV.notify_all();
+  }
+
+  /// After the workers have drained: the work items nobody claimed — the
+  /// unexplored subtrees an interrupted run leaves behind.
+  std::vector<WorkItem> drainRemaining() {
+    std::lock_guard<std::mutex> Lock(M);
+    std::vector<WorkItem> Out(std::make_move_iterator(Q.begin()),
+                              std::make_move_iterator(Q.end()));
+    Q.clear();
+    Size.store(0, std::memory_order_relaxed);
+    return Out;
   }
 
 private:
@@ -94,6 +116,134 @@ private:
   bool Stopped = false;
   bool Drained = false;
   std::atomic<bool> Starving{false};
+  std::atomic<size_t> Size{0};
+};
+
+//===----------------------------------------------------------------------===//
+// Monitor
+//===----------------------------------------------------------------------===//
+
+/// Observability sidecar thread: periodically snapshots the lock-free
+/// counters in SharedSearchControl for `--progress` lines, and raises the
+/// cooperative stop flag when the wall-clock budget expires or an external
+/// stop flag (SIGINT) is set. Workers are never blocked by it — they only
+/// ever see relaxed atomic loads/stores.
+class ParallelExplorer::Monitor {
+public:
+  Monitor(const SearchOptions &Opts, SharedSearchControl &Control,
+          WorkDeque *Queue)
+      : Opts(Opts), Control(Control), Queue(Queue) {}
+
+  ~Monitor() { stop(); }
+
+  /// Whether these options need a monitor thread at all.
+  static bool wanted(const SearchOptions &Opts) {
+    return Opts.ProgressIntervalSeconds > 0 || Opts.TimeBudgetSeconds > 0 ||
+           Opts.ExternalStop != nullptr;
+  }
+
+  void start() {
+    if (!wanted(Opts) || T.joinable())
+      return;
+    Begin = std::chrono::steady_clock::now();
+    T = std::thread([this] { loop(); });
+  }
+
+  void stop() {
+    if (!T.joinable())
+      return;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Done = true;
+    }
+    CV.notify_all();
+    T.join();
+  }
+
+  /// True when this monitor raised the stop flag (budget or external).
+  bool interrupted() const {
+    return Interrupted.load(std::memory_order_acquire);
+  }
+
+private:
+  void triggerStop() {
+    Interrupted.store(true, std::memory_order_release);
+    Control.Stop.store(true, std::memory_order_release);
+    if (Queue)
+      Queue->requestStop();
+  }
+
+  void emitProgress(double Elapsed, double Dt, uint64_t States,
+                    uint64_t Trans, uint64_t LastStates, uint64_t LastTrans) {
+    if (Dt <= 0)
+      Dt = 1;
+    // One fprintf call so concurrent report printing cannot shear the line.
+    std::fprintf(
+        stderr,
+        "progress: t=%.1fs states=%llu states/s=%.0f transitions=%llu "
+        "trans/s=%.0f depth=%llu frontier=%zu runs=%llu reports=%llu\n",
+        Elapsed, static_cast<unsigned long long>(States),
+        static_cast<double>(States - LastStates) / Dt,
+        static_cast<unsigned long long>(Trans),
+        static_cast<double>(Trans - LastTrans) / Dt,
+        static_cast<unsigned long long>(
+            Control.MaxDepthSeen.load(std::memory_order_relaxed)),
+        Queue ? Queue->size() : static_cast<size_t>(0),
+        static_cast<unsigned long long>(
+            Control.Runs.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            Control.Reports.load(std::memory_order_relaxed)));
+  }
+
+  void loop() {
+    // Poll fast enough that budgets and Ctrl-C feel immediate even when
+    // the progress interval is long (or progress is off).
+    double PollS = 0.05;
+    if (Opts.ProgressIntervalSeconds > 0)
+      PollS = std::min(PollS, Opts.ProgressIntervalSeconds / 2);
+    const auto Poll = std::chrono::duration<double>(std::max(PollS, 0.001));
+
+    double NextProgress = Opts.ProgressIntervalSeconds;
+    double LastElapsed = 0;
+    uint64_t LastStates = 0, LastTrans = 0;
+
+    std::unique_lock<std::mutex> Lock(M);
+    for (;;) {
+      if (CV.wait_for(Lock, Poll, [this] { return Done; }))
+        return;
+      double Elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Begin)
+                           .count();
+      if (!interrupted()) {
+        if (Opts.ExternalStop &&
+            Opts.ExternalStop->load(std::memory_order_relaxed))
+          triggerStop();
+        else if (Opts.TimeBudgetSeconds > 0 &&
+                 Elapsed >= Opts.TimeBudgetSeconds)
+          triggerStop();
+      }
+      if (Opts.ProgressIntervalSeconds > 0 && Elapsed >= NextProgress) {
+        uint64_t States = Control.StatesVisited.load(std::memory_order_relaxed);
+        uint64_t Trans = Control.Transitions.load(std::memory_order_relaxed);
+        emitProgress(Elapsed, Elapsed - LastElapsed, States, Trans,
+                     LastStates, LastTrans);
+        LastStates = States;
+        LastTrans = Trans;
+        LastElapsed = Elapsed;
+        NextProgress = Elapsed + Opts.ProgressIntervalSeconds;
+      }
+    }
+  }
+
+  const SearchOptions &Opts;
+  SharedSearchControl &Control;
+  WorkDeque *Queue;
+  std::chrono::steady_clock::time_point Begin;
+  std::thread T;
+  std::mutex M;
+  std::condition_variable CV;
+  bool Done = false;
+  std::atomic<bool> Interrupted{false};
 };
 
 //===----------------------------------------------------------------------===//
@@ -193,8 +343,14 @@ void ParallelExplorer::driveExplorer(Explorer &Ex, WorkDeque *Queue) {
     uint64_t TotalRuns = Control.Runs.fetch_add(1, std::memory_order_relaxed) + 1;
     if (Options.MaxRuns && TotalRuns >= Options.MaxRuns)
       Ex.requestStop();
-    if (!Continue || Ex.stopRequested())
+    if (!Continue || Ex.stopRequested()) {
+      // A cooperative stop cut this path short; remember the in-flight
+      // choice prefix so an interrupted run can name its abandoned
+      // subtrees (`replay:` resume lines).
+      if (Ex.stopRequested())
+        Ex.LastInFlight = Ex.currentChoices();
       return;
+    }
     if (!Ex.backtrack())
       return;
     if (Queue && Queue->starving())
@@ -218,9 +374,11 @@ void ParallelExplorer::mergeResults(const std::vector<Explorer *> &Parts) {
   Stats = SearchStats();
   Reports.clear();
   Covered.clear();
+  PerWorker.clear();
 
   std::unordered_set<uint64_t> SeenReports;
   for (Explorer *Ex : Parts) {
+    PerWorker.push_back(Ex->Stats);
     accumulate(Stats, Ex->Stats);
     Covered.insert(Ex->CoveredOps.begin(), Ex->CoveredOps.end());
     for (ErrorReport &R : Ex->Reports) {
@@ -251,25 +409,81 @@ void ParallelExplorer::mergeResults(const std::vector<Explorer *> &Parts) {
   }
 }
 
+void ParallelExplorer::collectResume(
+    std::vector<std::vector<ReplayStep>> InFlight,
+    std::vector<WorkItem> Unclaimed) {
+  Resume.clear();
+  std::unordered_set<std::string> Seen;
+  auto Add = [&](std::vector<ReplayStep> P) {
+    if (P.empty())
+      return;
+    if (!Seen.insert(replayToString(P)).second)
+      return;
+    Resume.push_back(std::move(P));
+  };
+  for (std::vector<ReplayStep> &P : InFlight)
+    Add(std::move(P));
+  for (WorkItem &I : Unclaimed)
+    Add(std::move(I.Prefix));
+  // Deepest abandoned path first; ties broken by the replay string so the
+  // order is independent of worker scheduling.
+  std::sort(Resume.begin(), Resume.end(),
+            [](const std::vector<ReplayStep> &A,
+               const std::vector<ReplayStep> &B) {
+              if (A.size() != B.size())
+                return A.size() > B.size();
+              return replayToString(A) < replayToString(B);
+            });
+}
+
 SearchStats ParallelExplorer::run() {
+  const auto Begin = std::chrono::steady_clock::now();
+  auto Elapsed = [&Begin] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Begin)
+        .count();
+  };
+  Resume.clear();
+
   // The state-hashing ablation prunes on a visited set whose contents
   // depend on traversal order; splitting it across workers would change
   // the result, so it stays sequential.
   if (Options.Jobs <= 1 || Options.UseStateHashing) {
     Explorer Ex(Mod, Options);
+    // Observability (progress counters, budgets, SIGINT) rides on the
+    // shared-control atomics; attach them only when asked for, so an
+    // unobserved sequential run keeps its atomic-free hot path.
+    const bool Observed = Monitor::wanted(Options);
+    Monitor Mon(Options, Control, nullptr);
+    if (Observed) {
+      Control.resetCounters();
+      Ex.Shared = &Control;
+      Mon.start();
+    }
     Ex.run();
+    Mon.stop();
     std::vector<Explorer *> Parts{&Ex};
     mergeResults(Parts);
     Stats.Completed = Ex.stats().Completed;
     // mergeResults re-derives coverage; keep the sequential run's numbers.
     Stats.VisibleOpsTotal = Ex.stats().VisibleOpsTotal;
     Stats.VisibleOpsCovered = Ex.stats().VisibleOpsCovered;
+    Stats.Interrupted = Mon.interrupted() && !Stats.Completed;
+    Stats.WallSeconds = Elapsed();
+    if (!Stats.Completed)
+      collectResume({Ex.LastInFlight}, {});
     return Stats;
   }
 
-  Control.StatesVisited.store(0);
-  Control.Runs.store(0);
-  Control.Stop.store(false);
+  Control.resetCounters();
+
+  const int Jobs = static_cast<int>(Options.Jobs);
+  // The deque and monitor exist for the whole run — including the
+  // sequential seeding phase, which a time budget or Ctrl-C must also be
+  // able to interrupt.
+  WorkDeque Queue(Jobs);
+  Monitor Mon(Options, Control, &Queue);
+  Mon.start();
 
   // Phase 1 — sequential seeding: expand the tree to the split depth,
   // collecting the frontier prefixes. The seeder owns (counts, reports)
@@ -291,8 +505,6 @@ SearchStats ParallelExplorer::run() {
   Seeder.FrontierSink = nullptr;
 
   // Phase 2 — parallel subtree exhaustion with work sharing.
-  const int Jobs = static_cast<int>(Options.Jobs);
-  WorkDeque Queue(Jobs);
   {
     std::vector<WorkItem> Items;
     Items.reserve(Frontier.size());
@@ -327,12 +539,22 @@ SearchStats ParallelExplorer::run() {
       T.join();
   }
 
+  Mon.stop();
+
   std::vector<Explorer *> Parts;
   Parts.push_back(&Seeder);
   for (std::unique_ptr<Explorer> &W : Workers)
     Parts.push_back(W.get());
   mergeResults(Parts);
   Stats.Completed = !Control.Stop.load(std::memory_order_acquire);
+  Stats.Interrupted = Mon.interrupted() && !Stats.Completed;
+  Stats.WallSeconds = Elapsed();
+  if (!Stats.Completed) {
+    std::vector<std::vector<ReplayStep>> InFlight;
+    for (Explorer *Ex : Parts)
+      InFlight.push_back(std::move(Ex->LastInFlight));
+    collectResume(std::move(InFlight), Queue.drainRemaining());
+  }
   return Stats;
 }
 

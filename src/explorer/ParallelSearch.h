@@ -54,6 +54,22 @@ public:
   const std::vector<ErrorReport> &reports() const { return Reports; }
   const SearchStats &stats() const { return Stats; }
 
+  /// Per-part statistics of the last run: element 0 is the seeding pass
+  /// (or the single explorer of a sequential run), then one entry per
+  /// worker thread. Summing them reproduces stats() up to the
+  /// merge-derived fields (coverage, Completed/Interrupted/WallSeconds).
+  const std::vector<SearchStats> &workerStats() const { return PerWorker; }
+
+  /// When the last run was stopped cooperatively (time budget, SIGINT, or
+  /// a hard budget), the choice prefixes of the abandoned subtrees:
+  /// every worker's deepest in-flight path plus the unclaimed work items,
+  /// deepest first. Each is replayable (`closer replay`) and names a
+  /// subtree a by-hand resumption would still have to explore. Empty for
+  /// completed runs.
+  const std::vector<std::vector<ReplayStep>> &resumePrefixes() const {
+    return Resume;
+  }
+
   /// Visible-operation call sites never exercised by the last run, merged
   /// over all workers.
   std::vector<std::pair<std::string, NodeId>> uncoveredVisibleOps() const;
@@ -68,6 +84,7 @@ private:
   };
 
   class WorkDeque;
+  class Monitor;
 
   /// Exhausts the explorer's current (sub)tree: runOnce/backtrack loop
   /// with shared-budget accounting, donating work when the deque starves.
@@ -79,11 +96,18 @@ private:
   static ReplayStep stepFor(const Explorer::Decision &D, size_t Option);
   void mergeResults(const std::vector<Explorer *> &Parts);
 
+  /// Gathers the abandoned-subtree prefixes of a cooperatively stopped
+  /// run into Resume (deepest first, deduplicated).
+  void collectResume(std::vector<std::vector<ReplayStep>> InFlight,
+                     std::vector<WorkItem> Unclaimed);
+
   const Module &Mod;
   SearchOptions Options;
   SharedSearchControl Control;
   SearchStats Stats;
   std::vector<ErrorReport> Reports;
+  std::vector<SearchStats> PerWorker;
+  std::vector<std::vector<ReplayStep>> Resume;
   std::unordered_set<uint64_t> Covered; ///< Union of worker coverage sets.
 };
 

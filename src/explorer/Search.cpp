@@ -36,7 +36,9 @@ std::string SearchStats::str() const {
   if (VisibleOpsTotal)
     Out += " visible-op-coverage=" + std::to_string(VisibleOpsCovered) +
            "/" + std::to_string(VisibleOpsTotal);
-  Out += Completed ? " (complete)" : " (budget exhausted)";
+  Out += Completed      ? " (complete)"
+         : Interrupted  ? " (interrupted)"
+                        : " (budget exhausted)";
   return Out;
 }
 
@@ -131,10 +133,13 @@ Explorer::Explorer(const Module &Mod, SearchOptions Options)
       Sys(Mod, Options.Runtime) {}
 
 void Explorer::report(ErrorReport R) {
-  if (Reports.size() < Options.MaxReports)
+  if (Reports.size() < Options.MaxReports) {
     Reports.push_back(std::move(R));
-  else
+    if (Shared)
+      Shared->Reports.fetch_add(1, std::memory_order_relaxed);
+  } else {
     ++Stats.ReportsDropped;
+  }
 }
 
 /// The choices consumed so far in the current run, in replayable form.
@@ -346,10 +351,18 @@ bool Explorer::runOnce() {
       }
       ++Stats.StatesVisited;
       uint64_t TotalStates = Stats.StatesVisited;
-      if (Shared)
+      if (Shared) {
         TotalStates =
             Shared->StatesVisited.fetch_add(1, std::memory_order_relaxed) +
             1;
+        // Progress-only depth high-water mark; a lost CAS race just delays
+        // the update to the next deeper state.
+        uint64_t D = static_cast<uint64_t>(Sys.depth());
+        uint64_t Cur = Shared->MaxDepthSeen.load(std::memory_order_relaxed);
+        while (D > Cur && !Shared->MaxDepthSeen.compare_exchange_weak(
+                              Cur, D, std::memory_order_relaxed)) {
+        }
+      }
       if (Options.MaxStates && TotalStates >= Options.MaxStates) {
         requestStop();
         return false;
@@ -438,6 +451,8 @@ bool Explorer::runOnce() {
     }
     ExecResult R = Sys.executeTransition(Chosen, Provider);
     ++Stats.Transitions;
+    if (Shared)
+      Shared->Transitions.fetch_add(1, std::memory_order_relaxed);
     if (FreshMode)
       ++Stats.TreeTransitions;
     else
@@ -495,6 +510,7 @@ SearchStats Explorer::run() {
   Cursor = 0;
   Ckpts.clear();
   StopFlag = false;
+  LastInFlight.clear();
   Floor = 0;
   SeedPrefix.clear();
   SeedCursor = 0;
@@ -503,8 +519,11 @@ SearchStats Explorer::run() {
   for (;;) {
     bool Continue = runOnce();
     ++Stats.Runs;
-    if (!Continue || StopFlag)
+    if (!Continue || StopFlag) {
+      if (stopRequested())
+        LastInFlight = currentChoices();
       break;
+    }
     if (Options.MaxRuns && Stats.Runs >= Options.MaxRuns)
       break;
     if (!backtrack()) {

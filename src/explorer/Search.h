@@ -77,6 +77,20 @@ struct SearchOptions {
   /// paper's baseline). Any value yields bit-identical tree-shaped stats;
   /// only Transitions/TransitionsReplayed/TransitionsRestored move.
   size_t CheckpointInterval = 0;
+  //===--------------------------------------------------------------------===//
+  // Observability & graceful degradation (read by ParallelExplorer)
+  //===--------------------------------------------------------------------===//
+  /// Print a progress line to stderr every this many seconds (0 = off).
+  /// Driven by a monitor thread over lock-free counter snapshots; workers
+  /// never block or synchronize for it.
+  double ProgressIntervalSeconds = 0;
+  /// Cooperative wall-clock budget: after this many seconds the run stop
+  /// flag is raised, workers drain, and partial results (stats, reports,
+  /// in-flight resume prefixes) are still delivered (0 = unlimited).
+  double TimeBudgetSeconds = 0;
+  /// External cooperative-stop flag (e.g. set by a SIGINT handler); polled
+  /// by the monitor thread. Never written by the search.
+  const std::atomic<bool> *ExternalStop = nullptr;
   SystemOptions Runtime;
 };
 
@@ -87,6 +101,24 @@ struct SharedSearchControl {
   std::atomic<uint64_t> StatesVisited{0};
   std::atomic<uint64_t> Runs{0};
   std::atomic<bool> Stop{false};
+  // Observability counters, maintained with relaxed increments on the
+  // worker hot path and snapshotted (racily, by design) by the progress
+  // monitor; they steer nothing, so staleness is harmless.
+  std::atomic<uint64_t> Transitions{0};
+  /// Reports retained by any worker; duplicates are not yet deduplicated
+  /// here, so this may exceed the final merged report count.
+  std::atomic<uint64_t> Reports{0};
+  /// Deepest global state reached by any worker so far.
+  std::atomic<uint64_t> MaxDepthSeen{0};
+
+  void resetCounters() {
+    StatesVisited.store(0);
+    Runs.store(0);
+    Stop.store(false);
+    Transitions.store(0);
+    Reports.store(0);
+    MaxDepthSeen.store(0);
+  }
 };
 
 struct SearchStats {
@@ -116,6 +148,14 @@ struct SearchStats {
   uint64_t VisibleOpsCovered = 0;
   uint64_t VisibleOpsTotal = 0;
   bool Completed = false; ///< Search exhausted the (bounded) tree.
+  /// Stop came from outside the search itself — the wall-clock budget or
+  /// an external flag (SIGINT) — rather than from completion or a
+  /// MaxRuns/MaxStates/StopOnFirstError condition. Partial results are
+  /// still valid; resume prefixes identify the abandoned subtrees.
+  bool Interrupted = false;
+  /// Wall-clock duration of the run (not part of str(): tree-shaped output
+  /// stays bit-identical across machines and runs).
+  double WallSeconds = 0;
 
   std::string str() const;
 };
@@ -226,6 +266,7 @@ private:
     Path.clear();
     Cursor = 0;
     Ckpts.clear(); // Snapshots index into the abandoned path.
+    LastInFlight.clear();
     Floor = Prefix.size();
     SeedPrefix = std::move(Prefix);
     SeedCursor = 0;
@@ -249,6 +290,10 @@ private:
   bool StopFlag = false;
   std::vector<Trace> *TraceSink = nullptr;
   size_t TraceSinkCap = 0;
+  /// The choice prefix that was in flight when a cooperative stop cut the
+  /// current runOnce() short — the deepest abandoned path, replayable by
+  /// hand to resume the search (empty when the run ended normally).
+  std::vector<ReplayStep> LastInFlight;
 
   // Parallel-mode state, driven by ParallelExplorer (see ParallelSearch.h).
   /// Decisions [0, Floor) are a pinned work-item prefix; backtrack() stops

@@ -36,6 +36,68 @@ TEST(ObjSetTest, BasicOperations) {
   EXPECT_TRUE(C.test(129));
 }
 
+// Regression: every operation used to assume both operands were sized for
+// the same object count; a default-constructed (zero-word) set or two sets
+// from differently-sized modules read and wrote out of bounds.
+TEST(ObjSetTest, MismatchedSizesNormalize) {
+  ObjSet Small(1), Big(200);
+  Big.set(130);
+  Big.set(0);
+
+  // Shorter set grows to cover the longer operand.
+  EXPECT_TRUE(Small.unionWith(Big));
+  EXPECT_TRUE(Small.test(130));
+  EXPECT_TRUE(Small.test(0));
+  EXPECT_FALSE(Small.unionWith(Big));
+
+  // Intersection only consults the common prefix.
+  ObjSet Tiny(1);
+  EXPECT_FALSE(Tiny.intersects(Big));
+  Tiny.set(0);
+  EXPECT_TRUE(Tiny.intersects(Big));
+  EXPECT_TRUE(Big.intersects(Tiny));
+  ObjSet HighOnly(200);
+  HighOnly.set(150);
+  EXPECT_FALSE(HighOnly.intersects(Tiny));
+  EXPECT_FALSE(Tiny.intersects(HighOnly));
+}
+
+TEST(ObjSetTest, DefaultConstructedSetIsUsable) {
+  ObjSet D; // Zero words.
+  EXPECT_TRUE(D.empty());
+  EXPECT_FALSE(D.test(0));
+  EXPECT_FALSE(D.test(500));
+
+  ObjSet Big(100);
+  Big.set(70);
+  EXPECT_FALSE(D.intersects(Big));
+  EXPECT_FALSE(Big.intersects(D));
+
+  // set() beyond current capacity grows the set instead of corrupting
+  // memory.
+  D.set(70);
+  EXPECT_TRUE(D.test(70));
+  EXPECT_TRUE(D.intersects(Big));
+
+  ObjSet E;
+  EXPECT_TRUE(E.unionWith(Big));
+  EXPECT_TRUE(E.test(70));
+}
+
+TEST(ObjSetTest, EqualityIgnoresTrailingZeroWords) {
+  ObjSet A(10), B(500);
+  A.set(3);
+  B.set(3);
+  EXPECT_TRUE(A == B);
+  EXPECT_TRUE(B == A);
+  B.set(400);
+  EXPECT_FALSE(A == B);
+  EXPECT_FALSE(B == A);
+
+  ObjSet Empty1, Empty2(640);
+  EXPECT_TRUE(Empty1 == Empty2);
+}
+
 TEST(FootprintsTest, SequentialAccessesShrinkOverTime) {
   auto Mod = mustCompile(R"(
 chan a[1];

@@ -23,11 +23,16 @@
 #include "closing/InterfaceReport.h"
 #include "closing/Pipeline.h"
 #include "envgen/NaiveClose.h"
+#include "explorer/Observability.h"
 #include "explorer/ParallelSearch.h"
 #include "explorer/Replay.h"
 #include "explorer/Search.h"
+#include "support/CommandLine.h"
+#include "support/Json.h"
 #include "switchapp/SwitchApp.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,14 +53,26 @@ void usage() {
       Print the closed control-flow graph listing(s).
   closer dot <file.mc> <proc>
       Print Graphviz dot for one closed procedure.
-  closer explore <file.mc> [--depth N] [--max-runs N] [--no-por]
+  closer explore <file.mc> [--depth N] [--max-runs N] [--no-por] [--hash]
                  [--stop-on-error] [--env-domain N] [--open] [--jobs N]
-                 [--checkpoint-interval K]
+                 [--checkpoint-interval K] [--stats-json FILE]
+                 [--progress[=SECS]] [--time-budget SECS]
       Close (unless --open) and systematically explore the state space.
       --jobs N > 1 explores disjoint subtrees on N worker threads.
       --checkpoint-interval K snapshots the system every K states so
       backtracking restores instead of re-executing prefixes (default 8;
       0 = pure stateless search). Results are identical for any K.
+      --hash stores state fingerprints and prunes revisited states (an
+      ablation of the stateless design); the visited set is traversal-
+      order dependent, so --hash always runs sequentially even with
+      --jobs N.
+      --stats-json FILE writes the full run statistics (per-worker
+      breakdowns, wall clock, reports, resume prefixes) as JSON.
+      --progress[=SECS] prints a progress line to stderr every SECS
+      seconds (default 2). --time-budget SECS stops the search
+      cooperatively after SECS seconds; an interrupted run (time budget
+      or Ctrl-C) still prints partial stats plus resumable `replay:`
+      prefixes for the abandoned subtrees.
   closer naive <file.mc> -D <n>
       Close with the naive explicit environment over domain [0,n]; print.
   closer partition <file.mc> [--max-reps N]
@@ -73,6 +90,48 @@ void usage() {
 )");
 }
 
+/// Which flags exist and whether they consume a value — the distinction
+/// parseArgs needs to keep positionals after boolean flags (see
+/// support/CommandLine.h).
+const FlagSpec &closerFlagSpec() {
+  static const FlagSpec Spec = {
+      // Boolean flags.
+      {"--coarse", FlagArity::Bool},
+      {"--dedup-toss", FlagArity::Bool},
+      {"--no-por", FlagArity::Bool},
+      {"--hash", FlagArity::Bool},
+      {"--stop-on-error", FlagArity::Bool},
+      {"--open", FlagArity::Bool},
+      {"--bug", FlagArity::Bool},
+      // Value-taking flags.
+      {"--depth", FlagArity::Value},
+      {"--max-runs", FlagArity::Value},
+      {"--env-domain", FlagArity::Value},
+      {"--jobs", FlagArity::Value},
+      {"--checkpoint-interval", FlagArity::Value},
+      {"--max-reps", FlagArity::Value},
+      {"-D", FlagArity::Value},
+      {"--lines", FlagArity::Value},
+      {"--trunks", FlagArity::Value},
+      {"--events", FlagArity::Value},
+      {"--variants", FlagArity::Value},
+      {"--stats-json", FlagArity::Value},
+      {"--time-budget", FlagArity::Value},
+      // `--progress` alone uses the default interval; `--progress=0.5`
+      // overrides it. It never consumes the next argument.
+      {"--progress", FlagArity::OptionalValue},
+  };
+  return Spec;
+}
+
+/// Prints the accumulated Args diagnostic (if any); true when clean.
+bool argsOk(const Args &A) {
+  if (A.Error.empty())
+    return true;
+  std::fprintf(stderr, "error: %s\n", A.Error.c_str());
+  return false;
+}
+
 std::string readFile(const char *Path) {
   std::ifstream In(Path);
   if (!In) {
@@ -82,39 +141,6 @@ std::string readFile(const char *Path) {
   std::ostringstream Out;
   Out << In.rdbuf();
   return Out.str();
-}
-
-struct Args {
-  std::vector<std::string> Positional;
-  std::vector<std::string> Flags;
-
-  bool has(const std::string &Flag) const {
-    for (const std::string &F : Flags)
-      if (F == Flag)
-        return true;
-    return false;
-  }
-
-  long valueOf(const std::string &Flag, long Default) const {
-    for (size_t I = 0; I + 1 < Flags.size(); ++I)
-      if (Flags[I] == Flag)
-        return std::strtol(Flags[I + 1].c_str(), nullptr, 10);
-    return Default;
-  }
-};
-
-Args parseArgs(int Argc, char **Argv, int From) {
-  Args A;
-  for (int I = From; I < Argc; ++I) {
-    std::string S = Argv[I];
-    if (!S.empty() && S[0] == '-')
-      A.Flags.push_back(S);
-    else if (!A.Flags.empty())
-      A.Flags.push_back(S); // Flag value.
-    else
-      A.Positional.push_back(S);
-  }
-  return A;
 }
 
 CloseResult closeFileOrDie(const std::string &Path, const Args &A) {
@@ -181,6 +207,16 @@ int cmdDot(const Args &A) {
   return 0;
 }
 
+/// Set by the SIGINT handler; polled by the explorer's monitor thread so a
+/// Ctrl-C drains workers and still reports partial results. A second
+/// Ctrl-C falls back to the default handler (hard kill).
+std::atomic<bool> GInterruptRequested{false};
+
+extern "C" void closerOnSigint(int) {
+  GInterruptRequested.store(true, std::memory_order_relaxed);
+  std::signal(SIGINT, SIG_DFL);
+}
+
 int cmdExplore(const Args &A) {
   if (A.Positional.empty()) {
     usage();
@@ -204,36 +240,67 @@ int cmdExplore(const Args &A) {
   }
 
   SearchOptions Opts;
-  Opts.MaxDepth = static_cast<size_t>(A.valueOf("--depth", 60));
-  Opts.MaxRuns = static_cast<uint64_t>(A.valueOf("--max-runs", 1000000));
+  Opts.MaxDepth = static_cast<size_t>(A.intOf("--depth", 60));
+  Opts.MaxRuns = static_cast<uint64_t>(A.intOf("--max-runs", 1000000));
   Opts.StopOnFirstError = A.has("--stop-on-error");
-  Opts.Runtime.EnvDomainBound = A.valueOf("--env-domain", 1);
+  Opts.Runtime.EnvDomainBound = A.intOf("--env-domain", 1);
   if (A.has("--no-por")) {
     Opts.UsePersistentSets = false;
     Opts.UseSleepSets = false;
   }
   if (A.has("--hash"))
     Opts.UseStateHashing = true;
-  long Jobs = A.valueOf("--jobs", 1);
+  long Jobs = A.intOf("--jobs", 1);
   Opts.Jobs = Jobs > 0 ? static_cast<size_t>(Jobs) : 1;
   // The library defaults to the paper's pure stateless search; the CLI
   // defaults to checkpointing on, since the outcome is identical and the
   // restore path is strictly faster.
-  long Ckpt = A.valueOf("--checkpoint-interval", 8);
+  long Ckpt = A.intOf("--checkpoint-interval", 8);
   Opts.CheckpointInterval = Ckpt > 0 ? static_cast<size_t>(Ckpt) : 0;
+
+  // Observability & graceful degradation.
+  Opts.TimeBudgetSeconds = A.secondsOf("--time-budget", 0);
+  if (A.has("--progress")) {
+    const std::string *V = A.value("--progress");
+    Opts.ProgressIntervalSeconds =
+        (V && !V->empty()) ? A.secondsOf("--progress", 2.0) : 2.0;
+  }
+  std::string StatsJsonPath = A.strOf("--stats-json", "");
+  if (!argsOk(A))
+    return 1;
+  Opts.ExternalStop = &GInterruptRequested;
+  std::signal(SIGINT, closerOnSigint);
 
   // ParallelExplorer with Jobs == 1 runs the plain sequential search, so
   // the default behavior is untouched.
   ParallelExplorer Ex(*ToExplore, Opts);
   SearchStats Stats = Ex.run();
+  std::signal(SIGINT, SIG_DFL);
+
   std::printf("%s\n", Stats.str().c_str());
   if (Stats.VisibleOpsCovered < Stats.VisibleOpsTotal) {
     std::printf("uncovered visible operations:\n");
     for (const auto &[Proc, Node] : Ex.uncoveredVisibleOps())
       std::printf("  %s node N%u\n", Proc.c_str(), Node);
   }
+  if (Stats.Interrupted) {
+    std::printf("interrupted after %.1fs; deepest in-flight prefixes "
+                "(resume by hand via `closer explore` / `closer replay`):\n",
+                Stats.WallSeconds);
+    for (const std::vector<ReplayStep> &P : Ex.resumePrefixes())
+      std::printf("replay: %s\n", replayToString(P).c_str());
+  }
   for (const ErrorReport &Rep : Ex.reports())
     std::printf("\n%s", Rep.str().c_str());
+
+  if (!StatsJsonPath.empty()) {
+    std::string Err;
+    if (!json::writeJsonFile(StatsJsonPath, runArtifactToJson(Ex, Opts),
+                             &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+  }
   return (Stats.Deadlocks || Stats.AssertionViolations ||
           Stats.RuntimeErrors)
              ? 2
@@ -252,7 +319,9 @@ int cmdNaive(const Args &A) {
     return 1;
   }
   NaiveCloseOptions Options;
-  Options.DomainBound = A.valueOf("-D", 1);
+  Options.DomainBound = A.intOf("-D", 1);
+  if (!argsOk(A))
+    return 1;
   NaiveCloseStats Stats;
   Module Naive = naiveCloseModule(*Mod, Options, &Stats);
   std::printf("%s", emitModuleSource(Naive).c_str());
@@ -278,7 +347,9 @@ int cmdPartition(const Args &A) {
   }
   PartitionOptions Options;
   Options.MaxRepresentatives =
-      static_cast<size_t>(A.valueOf("--max-reps", 16));
+      static_cast<size_t>(A.intOf("--max-reps", 16));
+  if (!argsOk(A))
+    return 1;
   PartitionStats PStats;
   Module Simplified = partitionInputs(*Mod, Options, &PStats);
   ClosingStats CStats;
@@ -333,7 +404,9 @@ int cmdReplay(const Args &A) {
   }
 
   SystemOptions SysOpts;
-  SysOpts.EnvDomainBound = A.valueOf("--env-domain", 1);
+  SysOpts.EnvDomainBound = A.intOf("--env-domain", 1);
+  if (!argsOk(A))
+    return 1;
   ReplayResult R = replayChoices(*Mod, Steps, SysOpts);
   std::printf("%s", traceToString(R.TraceOut).c_str());
   if (!R.Violations.empty())
@@ -359,11 +432,13 @@ int cmdReplay(const Args &A) {
 
 int cmdGenSwitchApp(const Args &A) {
   SwitchAppConfig Config;
-  Config.NumLines = static_cast<int>(A.valueOf("--lines", 3));
-  Config.NumTrunks = static_cast<int>(A.valueOf("--trunks", 2));
-  Config.EventsPerLine = static_cast<int>(A.valueOf("--events", 2));
-  Config.HandlerVariants = static_cast<int>(A.valueOf("--variants", 1));
+  Config.NumLines = static_cast<int>(A.intOf("--lines", 3));
+  Config.NumTrunks = static_cast<int>(A.intOf("--trunks", 2));
+  Config.EventsPerLine = static_cast<int>(A.intOf("--events", 2));
+  Config.HandlerVariants = static_cast<int>(A.intOf("--variants", 1));
   Config.SeedTrunkLeakBug = A.has("--bug");
+  if (!argsOk(A))
+    return 1;
   std::printf("%s", generateSwitchAppSource(Config).c_str());
   return 0;
 }
@@ -376,7 +451,12 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::string Cmd = argv[1];
-  Args A = parseArgs(argc, argv, 2);
+  Args A = parseArgs(argc, argv, 2, closerFlagSpec());
+  if (!A.Error.empty()) {
+    std::fprintf(stderr, "error: %s\n", A.Error.c_str());
+    usage();
+    return 1;
+  }
   if (Cmd == "close")
     return cmdClose(A);
   if (Cmd == "cfg")
