@@ -167,6 +167,30 @@ inline std::string philosophersProgram(int N, int Meals = 1) {
   return S;
 }
 
+/// Two processes looping Iters times over wait/signal on one shared
+/// semaphore: a deep "grid" state space of Iters^2 distinct states (the
+/// loop-counter pair), every one reachable along combinatorially many
+/// interleavings. Without a visited-state cache the search tree is
+/// exponential in Iters; with one it collapses to the grid — the cached
+/// deep-series workload.
+inline std::string semGridProgram(int Iters) {
+  std::string S;
+  std::string N = std::to_string(Iters);
+  S += "sem s(2);\n";
+  for (const char *P : {"a", "b"}) {
+    S += "proc " + std::string(P) + "() {\n";
+    S += "  var k;\n";
+    S += "  for (k = 0; k < " + N + "; k = k + 1) {\n";
+    S += "    sem_wait(s);\n";
+    S += "    sem_signal(s);\n";
+    S += "  }\n";
+    S += "}\n";
+  }
+  S += "process pa = a();\n";
+  S += "process pb = b();\n";
+  return S;
+}
+
 /// N independent producer/consumer pairs on disjoint channels (E7's
 /// persistent-set showcase: footprints are disjoint across pairs).
 inline std::string independentPairsProgram(int Pairs, int Msgs = 2) {

@@ -20,7 +20,7 @@
 #include "BenchUtil.h"
 
 #include "dataflow/DefUse.h"
-#include "explorer/ParallelSearch.h"
+#include "explorer/Search.h"
 
 #include <benchmark/benchmark.h>
 
@@ -104,8 +104,7 @@ void BM_ExploreJobs(benchmark::State &State) {
 
   uint64_t States = 0;
   for (auto _ : State) {
-    ParallelExplorer Ex(*Mod, Opts);
-    SearchStats Stats = Ex.run();
+    SearchStats Stats = explore(*Mod, Opts).Stats;
     States = Stats.StatesVisited;
     benchmark::DoNotOptimize(&Stats);
   }

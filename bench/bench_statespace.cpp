@@ -42,19 +42,18 @@ SearchOptions exploreOptions() {
   return Opts;
 }
 
-/// Runs one exploration and reports wall-clock seconds alongside the stats.
+/// Runs one exploration through the closer::explore() façade and reports
+/// wall-clock seconds alongside the stats.
 double timedExplore(const Module &Mod, const SearchOptions &Opts,
                     SearchStats &Out) {
-  Explorer Ex(Mod, Opts);
   auto T0 = std::chrono::steady_clock::now();
-  Out = Ex.run();
+  Out = explore(Mod, Opts).Stats;
   auto T1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(T1 - T0).count();
 }
 
-SearchStats explore(const Module &Mod) {
-  Explorer Ex(Mod, exploreOptions());
-  return Ex.run();
+SearchStats exploreStats(const Module &Mod) {
+  return explore(Mod, exploreOptions()).Stats;
 }
 
 void emitExploreRecord(BenchJson &Json, const std::string &Config,
@@ -62,12 +61,18 @@ void emitExploreRecord(BenchJson &Json, const std::string &Config,
                        double Seconds) {
   Json.record(Config)
       .count("checkpoint_interval", Opts.CheckpointInterval)
+      .count("jobs", Opts.Jobs)
+      .count("state_cache_bits", Opts.StateCacheBits)
       .count("states", Stats.StatesVisited)
       .count("paths", Stats.Runs)
       .count("tree_transitions", Stats.TreeTransitions)
       .count("transitions_executed", Stats.Transitions)
       .count("transitions_replayed", Stats.TransitionsReplayed)
       .count("transitions_restored", Stats.TransitionsRestored)
+      .count("cache_hits", Stats.CacheHits)
+      .count("cache_inserts", Stats.CacheInserts)
+      .count("cache_saturated", Stats.CacheSaturated)
+      .count("completed", Stats.Completed ? 1 : 0)
       .num("seconds", Seconds)
       .num("states_per_sec",
            Seconds > 0 ? static_cast<double>(Stats.StatesVisited) / Seconds
@@ -83,7 +88,7 @@ void BM_NaiveEnvironment(benchmark::State &State) {
   Module Naive = naiveCloseModule(*Open, {Domain - 1});
   SearchStats Stats;
   for (auto _ : State)
-    Stats = explore(Naive);
+    Stats = exploreStats(Naive);
   State.counters["domain"] = static_cast<double>(Domain);
   State.counters["states"] = static_cast<double>(Stats.StatesVisited);
   State.counters["paths"] = static_cast<double>(Stats.Runs);
@@ -97,7 +102,7 @@ void BM_TransformedClosed(benchmark::State &State) {
     std::abort();
   SearchStats Stats;
   for (auto _ : State)
-    Stats = explore(*R.Closed);
+    Stats = exploreStats(*R.Closed);
   State.counters["states"] = static_cast<double>(Stats.StatesVisited);
   State.counters["paths"] = static_cast<double>(Stats.Runs);
   State.counters["transitions"] = static_cast<double>(Stats.TreeTransitions);
@@ -176,6 +181,69 @@ int main(int argc, char **argv) {
              S.TreeTransitions != Stateless.TreeTransitions) {
       std::fprintf(stderr, "checkpointed tree stats diverged from "
                            "stateless!\n");
+      return 1;
+    }
+  }
+  std::printf("\n");
+
+  // Concurrent state caching on the deep grid workload: Iters^2 distinct
+  // states, each reachable along combinatorially many interleavings, so
+  // the uncached search tree is exponential and only a visited-state cache
+  // makes the workload feasible. One budget-capped uncached row records
+  // that baseline; the cached rows run the same exploration to completion
+  // sequentially and with 4 workers sharing the fingerprint table. The
+  // determinism contract (ALGORITHM.md "Concurrent state caching") says
+  // the tree-shaped stats of completed, unsaturated cached runs must not
+  // depend on the job count — enforced here, not just eyeballed.
+  const int GridIters = 512;
+  std::printf("cached deep series: sem grid %d x %d (2 procs, shared "
+              "semaphore), no POR\n--state-cache=23 --checkpoint-interval 8, "
+              "sequential vs 4 workers\n\n",
+              GridIters, GridIters);
+  auto Grid = benchCompile(semGridProgram(GridIters));
+  SearchOptions GridOpts;
+  GridOpts.MaxDepth = uint64_t(1) << 24;
+  GridOpts.MaxRuns = 0; // Run to exhaustion; the cache keeps it small.
+  GridOpts.UsePersistentSets = false;
+  GridOpts.UseSleepSets = false;
+  GridOpts.CheckpointInterval = 8;
+  std::printf("%-18s %12s %14s %12s %14s\n", "variant", "states",
+              "cache-inserts", "seconds", "states/sec");
+  {
+    SearchOptions Opts = GridOpts;
+    Opts.MaxRuns = 100000; // Uncached the tree is exponential: cap, report.
+    SearchStats S;
+    double Sec = timedExplore(*Grid, Opts, S);
+    std::printf("grid uncached      %12llu %14s %12.3f %14.0f  (capped)\n",
+                static_cast<unsigned long long>(S.StatesVisited), "-", Sec,
+                Sec > 0 ? static_cast<double>(S.StatesVisited) / Sec : 0);
+    emitExploreRecord(Json, "cached_grid_uncached_capped", S, Opts, Sec);
+  }
+  SearchStats SeqCached;
+  for (int Jobs : {1, 4}) {
+    SearchOptions Opts = GridOpts;
+    Opts.StateCacheBits = 23;
+    Opts.Jobs = Jobs;
+    SearchStats S;
+    double Sec = timedExplore(*Grid, Opts, S);
+    std::printf("grid cached j=%-4d %12llu %14llu %12.3f %14.0f\n", Jobs,
+                static_cast<unsigned long long>(S.StatesVisited),
+                static_cast<unsigned long long>(S.CacheInserts), Sec,
+                Sec > 0 ? static_cast<double>(S.StatesVisited) / Sec : 0);
+    emitExploreRecord(Json, "cached_grid_j" + std::to_string(Jobs), S, Opts,
+                      Sec);
+    if (!S.Completed || S.CacheSaturated || S.DepthLimitHits) {
+      std::fprintf(stderr, "cached grid run violated the determinism "
+                           "contract preconditions!\n");
+      return 1;
+    }
+    if (Jobs == 1)
+      SeqCached = S;
+    else if (S.StatesVisited != SeqCached.StatesVisited ||
+             S.TreeTransitions != SeqCached.TreeTransitions ||
+             S.CacheInserts != SeqCached.CacheInserts) {
+      std::fprintf(stderr, "cached tree stats diverged between jobs=1 and "
+                           "jobs=4!\n");
       return 1;
     }
   }

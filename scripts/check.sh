@@ -3,11 +3,16 @@
 #
 # Runs the tier-1 line (configure, build, full ctest), then validates the
 # machine-readable artifacts the tree emits:
+#   * the concurrent state-cache suite is re-run explicitly under
+#     ThreadSanitizer (the full ctest pass above includes it too; this
+#     step makes a silent discovery failure loud);
 #   * any BENCH_*.json benchmark outputs lying around the build tree must
 #     parse as JSON arrays of flat records with a "config" field;
 #   * a smoke `closer explore --time-budget ... --stats-json` run on the
 #     generated switchapp must produce a schema-tagged, well-formed
-#     artifact even when the search is cut short.
+#     artifact even when the search is cut short;
+#   * a cached parallel smoke run (`--state-cache --jobs 4`) must report
+#     the cache counters in the stats artifact.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 
@@ -20,6 +25,17 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
+
+echo "== tsan state-cache suite =="
+# Guard against the suite silently disappearing from discovery: require at
+# least one Tsan.StateCache* test to exist and pass (skipped only when the
+# whole tree is a Tsan build, where the plain suite already is tsan).
+# (no `grep -q`: with pipefail, its early exit would SIGPIPE ctest)
+if (cd "$BUILD" && ctest -N -R 'Tsan\.StateCache' | grep 'Tsan\.StateCache' >/dev/null); then
+  (cd "$BUILD" && ctest --output-on-failure -R 'Tsan\.StateCache')
+else
+  echo "warning: no Tsan.StateCache tests discovered (Tsan tree build?)" >&2
+fi
 
 echo "== artifact schema checks =="
 PY=python3
@@ -77,6 +93,32 @@ if art["interrupted"]:
     assert art["resume"], "interrupted run must carry resume prefixes"
 print(f"ok: {path} (interrupted={art['interrupted']}, "
       f"states={art['stats']['states_visited']})")
+EOF
+
+echo "== explore --state-cache --jobs 4 smoke =="
+rc=0
+"$CLOSER" explore examples/minic/bounded_buffer.mc --depth 40 \
+  --max-runs 100000000 --state-cache=16 --jobs 4 \
+  --stats-json "$TMP/cached.json" >/dev/null 2>&1 || rc=$?
+if [ "$rc" != 0 ] && [ "$rc" != 2 ]; then
+  echo "error: cached explore smoke run exited with $rc" >&2
+  exit 1
+fi
+"$PY" - "$TMP/cached.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    art = json.load(f)
+assert art["schema"] == "closer-explore-stats-v1", art.get("schema")
+stats, options = art["stats"], art["options"]
+for key in ("cache_hits", "cache_inserts", "cache_saturated"):
+    assert key in stats, f"stats missing '{key}'"
+assert options.get("state_cache_bits") == 16, options.get("state_cache_bits")
+assert options.get("jobs") == 4, options.get("jobs")
+assert stats["cache_inserts"] > 0, "cache never inserted"
+assert stats["cache_saturated"] == 0, "smoke run saturated a 2^16 cache"
+print(f"ok: {path} (cache_inserts={stats['cache_inserts']}, "
+      f"cache_hits={stats['cache_hits']})")
 EOF
 
 echo "== all checks passed =="

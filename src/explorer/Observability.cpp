@@ -27,6 +27,9 @@ json::Value closer::statsToJson(const SearchStats &S) {
   O.add("depth_limit_hits", S.DepthLimitHits);
   O.add("sleep_set_prunes", S.SleepSetPrunes);
   O.add("hash_prunes", S.HashPrunes);
+  O.add("cache_hits", S.CacheHits);
+  O.add("cache_inserts", S.CacheInserts);
+  O.add("cache_saturated", S.CacheSaturated);
   O.add("reports_dropped", S.ReportsDropped);
   O.add("visible_ops_covered", S.VisibleOpsCovered);
   O.add("visible_ops_total", S.VisibleOpsTotal);
@@ -46,15 +49,16 @@ json::Value closer::optionsToJson(const SearchOptions &Opts) {
   O.add("persistent_sets", Opts.UsePersistentSets);
   O.add("sleep_sets", Opts.UseSleepSets);
   O.add("state_hashing", Opts.UseStateHashing);
+  O.add("state_cache_bits",
+        static_cast<uint64_t>(Opts.effectiveStateCacheBits()));
   O.add("stop_on_first_error", Opts.StopOnFirstError);
   O.add("env_domain_bound", Opts.Runtime.EnvDomainBound);
   O.add("time_budget_seconds", Opts.TimeBudgetSeconds);
   return O;
 }
 
-json::Value closer::runArtifactToJson(const ParallelExplorer &Ex,
-                                      const SearchOptions &Opts) {
-  const SearchStats &S = Ex.stats();
+json::Value closer::runArtifactToJson(const SearchResult &R) {
+  const SearchStats &S = R.Stats;
   json::Value Root = json::Value::object();
   Root.add("schema", statsJsonSchema());
   Root.add("interrupted", S.Interrupted);
@@ -68,19 +72,19 @@ json::Value closer::runArtifactToJson(const ParallelExplorer &Ex,
            S.WallSeconds > 0
                ? static_cast<double>(S.Transitions) / S.WallSeconds
                : 0.0);
-  Root.add("options", optionsToJson(Opts));
+  Root.add("options", optionsToJson(R.Options));
   Root.add("stats", statsToJson(S));
 
   json::Value Workers = json::Value::array();
-  for (const SearchStats &W : Ex.workerStats())
+  for (const SearchStats &W : R.Workers)
     Workers.push(statsToJson(W));
   Root.add("workers", std::move(Workers));
 
   json::Value Reports = json::Value::array();
-  for (const ErrorReport &R : Ex.reports()) {
+  for (const ErrorReport &Rep : R.Reports) {
     json::Value O = json::Value::object();
     const char *Kind = "";
-    switch (R.Kind) {
+    switch (Rep.Kind) {
     case ErrorReport::Type::Deadlock:
       Kind = "deadlock";
       break;
@@ -95,15 +99,16 @@ json::Value closer::runArtifactToJson(const ParallelExplorer &Ex,
       break;
     }
     O.add("kind", Kind);
-    O.add("depth", static_cast<uint64_t>(R.Depth));
-    O.add("process", static_cast<int64_t>(R.Process));
-    O.add("replay", replayToString(R.Choices));
+    O.add("depth", static_cast<uint64_t>(Rep.Depth));
+    O.add("process", static_cast<int64_t>(Rep.Process));
+    O.add("state_fingerprint", Rep.StateFp);
+    O.add("replay", replayToString(Rep.Choices));
     Reports.push(std::move(O));
   }
   Root.add("reports", std::move(Reports));
 
   json::Value Resume = json::Value::array();
-  for (const std::vector<ReplayStep> &P : Ex.resumePrefixes())
+  for (const std::vector<ReplayStep> &P : R.Resume)
     Resume.push(replayToString(P));
   Root.add("resume", std::move(Resume));
   return Root;

@@ -9,14 +9,17 @@
 /// The explorer's diagnostic surface, in machine-readable form. VeriSoft's
 /// §6 case study was usable because the tool reported what happened during
 /// search (states, transitions, reductions, errors); this module turns a
-/// ParallelExplorer run into a JSON artifact (`closer explore --stats-json
-/// FILE`) that downstream tooling — scripts/check.sh, perf tracking,
-/// dashboards — can consume without scraping the human-readable line:
+/// closer::explore() result into a JSON artifact (`closer explore
+/// --stats-json FILE`) that downstream tooling — scripts/check.sh, perf
+/// tracking, dashboards — can consume without scraping the human-readable
+/// line:
 ///
 ///  * every SearchStats field, snake-cased, field-for-field;
 ///  * per-worker breakdowns (seeding pass first, then one per worker);
-///  * wall clock / states-per-second and the effective search options;
-///  * error reports as (kind, depth, process, replay) records;
+///  * wall clock / states-per-second and the *effective* search options
+///    (after explore()'s normalization — what actually ran);
+///  * error reports as (kind, depth, process, state fingerprint, replay)
+///    records;
 ///  * for interrupted runs, the resume prefixes of the abandoned subtrees.
 ///
 //===----------------------------------------------------------------------===//
@@ -24,7 +27,7 @@
 #ifndef CLOSER_EXPLORER_OBSERVABILITY_H
 #define CLOSER_EXPLORER_OBSERVABILITY_H
 
-#include "explorer/ParallelSearch.h"
+#include "explorer/Search.h"
 #include "support/Json.h"
 
 #include <string>
@@ -40,9 +43,9 @@ json::Value statsToJson(const SearchStats &S);
 /// The search options that shaped a run, for artifact self-description.
 json::Value optionsToJson(const SearchOptions &Opts);
 
-/// The full run artifact of \p Ex's most recent run.
-json::Value runArtifactToJson(const ParallelExplorer &Ex,
-                              const SearchOptions &Opts);
+/// The full run artifact of an explore() result. Options come from
+/// R.Options — the normalized set the search actually used.
+json::Value runArtifactToJson(const SearchResult &R);
 
 } // namespace closer
 

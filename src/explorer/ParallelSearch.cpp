@@ -177,11 +177,24 @@ private:
                     uint64_t Trans, uint64_t LastStates, uint64_t LastTrans) {
     if (Dt <= 0)
       Dt = 1;
-    // One fprintf call so concurrent report printing cannot shear the line.
+    // Cache traffic is appended only for cached runs, pre-formatted so the
+    // line below still goes out in one fprintf call (concurrent report
+    // printing cannot shear it).
+    char CacheBuf[128] = "";
+    if (Opts.stateCacheEnabled())
+      std::snprintf(
+          CacheBuf, sizeof(CacheBuf),
+          " cache-hits=%llu cache-inserts=%llu cache-saturated=%llu",
+          static_cast<unsigned long long>(
+              Control.CacheHits.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              Control.CacheInserts.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              Control.CacheSaturated.load(std::memory_order_relaxed)));
     std::fprintf(
         stderr,
         "progress: t=%.1fs states=%llu states/s=%.0f transitions=%llu "
-        "trans/s=%.0f depth=%llu frontier=%zu runs=%llu reports=%llu\n",
+        "trans/s=%.0f depth=%llu frontier=%zu runs=%llu reports=%llu%s\n",
         Elapsed, static_cast<unsigned long long>(States),
         static_cast<double>(States - LastStates) / Dt,
         static_cast<unsigned long long>(Trans),
@@ -192,7 +205,8 @@ private:
         static_cast<unsigned long long>(
             Control.Runs.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
-            Control.Reports.load(std::memory_order_relaxed)));
+            Control.Reports.load(std::memory_order_relaxed)),
+        CacheBuf);
   }
 
   void loop() {
@@ -251,7 +265,14 @@ private:
 //===----------------------------------------------------------------------===//
 
 ParallelExplorer::ParallelExplorer(const Module &Mod, SearchOptions Options)
-    : Mod(Mod), Options(Options) {}
+    : Mod(Mod), Options(std::move(Options)) {
+  // Soundness, not a preference: a sleep set summarizes what *this path*
+  // already covered, but a shared visited cache prunes across paths. A
+  // state skipped here because of the sleep set would be cache-pruned at
+  // its other arrivals and never explored at all.
+  if (this->Options.stateCacheEnabled())
+    this->Options.UseSleepSets = false;
+}
 
 ParallelExplorer::~ParallelExplorer() = default;
 
@@ -292,6 +313,25 @@ uint64_t reportKey(const ErrorReport &R) {
   return H;
 }
 
+/// Report identity under state caching: the same erroneous state can be
+/// reached freshly along different choice sequences (by different workers,
+/// or sequentially before its fingerprint lands in the cache), so reports
+/// deduplicate by the state and the error details instead of by path.
+uint64_t stateReportKey(const ErrorReport &R) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  Mix(static_cast<uint64_t>(R.Kind));
+  Mix(R.StateFp);
+  Mix(static_cast<uint64_t>(R.Error.Kind));
+  Mix(static_cast<uint64_t>(R.Process) + 0x9e3779b9ull);
+  Mix(static_cast<uint64_t>(R.Loc.Line) << 32 |
+      static_cast<uint64_t>(R.Loc.Column));
+  return H;
+}
+
 void accumulate(SearchStats &Into, const SearchStats &From) {
   Into.Runs += From.Runs;
   Into.Transitions += From.Transitions;
@@ -307,6 +347,9 @@ void accumulate(SearchStats &Into, const SearchStats &From) {
   Into.DepthLimitHits += From.DepthLimitHits;
   Into.SleepSetPrunes += From.SleepSetPrunes;
   Into.HashPrunes += From.HashPrunes;
+  Into.CacheHits += From.CacheHits;
+  Into.CacheInserts += From.CacheInserts;
+  Into.CacheSaturated += From.CacheSaturated;
   Into.ReportsDropped += From.ReportsDropped;
 }
 
@@ -329,6 +372,26 @@ bool ParallelExplorer::donateOne(Explorer &Ex, WorkDeque &Queue) {
     for (size_t J = 0; J != I; ++J)
       Item.Prefix.push_back(stepFor(Ex.Path[J], Ex.Path[J].Chosen));
     Item.Prefix.push_back(stepFor(D, End - 1));
+    // Ship the deepest checkpoint at or below the donation point: its
+    // snapshot is the state before Path[Cursor] with the current choices
+    // [0, Cursor), which are exactly the prefix steps just serialized
+    // (Cursor <= I, and backtracking can only have changed choices at or
+    // above the checkpoint's own cursor, which pops it first). The
+    // receiver then replays Prefix[Cursor..] instead of the whole prefix.
+    for (auto It = Ex.Ckpts.rbegin(); It != Ex.Ckpts.rend(); ++It) {
+      if (It->Cursor > I)
+        continue;
+      if (It->Cursor > 0) {
+        Item.HasSnap = true;
+        Item.SnapCursor = It->Cursor;
+        Item.SnapSleep = It->Sleep;
+        // Checkpoints are trace-light; the receiver's trace is unrelated
+        // to ours, so ship a full copy (valid here for the same reason the
+        // checkpoint itself is: the prefix it covers is still in force).
+        Item.Snap = Ex.Sys.materializeTrace(It->Snap);
+      }
+      break;
+    }
     ++D.DonatedTail;
     Queue.push(std::move(Item));
     return true;
@@ -337,6 +400,16 @@ bool ParallelExplorer::donateOne(Explorer &Ex, WorkDeque &Queue) {
 }
 
 void ParallelExplorer::driveExplorer(Explorer &Ex, WorkDeque *Queue) {
+  // Donation backoff: under state caching a donated subtree often turns
+  // out to be already-cached territory — the receiver prunes it within a
+  // run or two and starves again, and an unthrottled donor then sheds a
+  // parcel every few backtracks. Each donation costs a snapshot copy and
+  // a queue round-trip (condvar wake, context switch), which dominates
+  // the wall clock on donation-heavy runs. Requiring a stretch of local
+  // backtracks between donations bounds that churn while still serving a
+  // genuinely starved sibling within milliseconds.
+  constexpr uint64_t DonateBackoff = 512;
+  uint64_t SinceDonate = DonateBackoff;
   for (;;) {
     bool Continue = Ex.runOnce();
     ++Ex.Stats.Runs;
@@ -353,15 +426,22 @@ void ParallelExplorer::driveExplorer(Explorer &Ex, WorkDeque *Queue) {
     }
     if (!Ex.backtrack())
       return;
-    if (Queue && Queue->starving())
-      donateOne(Ex, *Queue);
+    ++SinceDonate;
+    if (Queue && SinceDonate >= DonateBackoff && Queue->starving() &&
+        donateOne(Ex, *Queue))
+      SinceDonate = 0;
   }
 }
 
 void ParallelExplorer::workerMain(Explorer &Ex, WorkDeque &Queue) {
   WorkItem Item;
   while (Queue.pop(Item)) {
-    Ex.beginSubtree(std::move(Item.Prefix), Item.FreshFrom);
+    if (Item.HasSnap)
+      Ex.beginSubtree(std::move(Item.Prefix), Item.FreshFrom,
+                      std::move(Item.Snap), Item.SnapCursor,
+                      std::move(Item.SnapSleep));
+    else
+      Ex.beginSubtree(std::move(Item.Prefix), Item.FreshFrom);
     driveExplorer(Ex, &Queue);
     if (Ex.stopRequested()) {
       Queue.requestStop();
@@ -376,14 +456,19 @@ void ParallelExplorer::mergeResults(const std::vector<Explorer *> &Parts) {
   Covered.clear();
   PerWorker.clear();
 
+  // Under caching the same erroneous state can be freshly reached along
+  // different paths before its fingerprint lands in the table, so dedup by
+  // state identity; otherwise the choice sequence is the identity.
+  const bool ByState = Options.stateCacheEnabled();
   std::unordered_set<uint64_t> SeenReports;
   for (Explorer *Ex : Parts) {
     PerWorker.push_back(Ex->Stats);
     accumulate(Stats, Ex->Stats);
     Covered.insert(Ex->CoveredOps.begin(), Ex->CoveredOps.end());
     for (ErrorReport &R : Ex->Reports) {
-      if (!SeenReports.insert(reportKey(R)).second)
-        continue; // Same choice sequence reported twice — keep one.
+      uint64_t Key = ByState ? stateReportKey(R) : reportKey(R);
+      if (!SeenReports.insert(Key).second)
+        continue; // Same error reported twice — keep one.
       Reports.push_back(std::move(R));
     }
   }
@@ -445,11 +530,17 @@ SearchStats ParallelExplorer::run() {
   };
   Resume.clear();
 
-  // The state-hashing ablation prunes on a visited set whose contents
-  // depend on traversal order; splitting it across workers would change
-  // the result, so it stays sequential.
-  if (Options.Jobs <= 1 || Options.UseStateHashing) {
+  // One shared fingerprint table per run: every explorer (the sequential
+  // one, the seeder, and all workers) consults the same cache, so a state
+  // expanded anywhere is pruned everywhere. Rebuilt fresh each run —
+  // stale fingerprints from a previous run would prune unsoundly.
+  Cache.reset();
+  if (Options.stateCacheEnabled())
+    Cache = std::make_unique<StateCache>(Options.effectiveStateCacheBits());
+
+  if (Options.Jobs <= 1) {
     Explorer Ex(Mod, Options);
+    Ex.Cache = Cache.get();
     // Observability (progress counters, budgets, SIGINT) rides on the
     // shared-control atomics; attach them only when asked for, so an
     // unobserved sequential run keeps its atomic-free hot path.
@@ -498,6 +589,7 @@ SearchStats ParallelExplorer::run() {
 
   std::vector<std::vector<ReplayStep>> Frontier;
   Explorer Seeder(Mod, Options);
+  Seeder.Cache = Cache.get();
   Seeder.Shared = &Control;
   Seeder.FrontierSink = &Frontier;
   Seeder.FrontierDepth = SplitDepth;
@@ -521,6 +613,7 @@ SearchStats ParallelExplorer::run() {
   Workers.reserve(static_cast<size_t>(Jobs));
   for (int W = 0; W != Jobs; ++W) {
     Workers.push_back(std::make_unique<Explorer>(Mod, Options));
+    Workers.back()->Cache = Cache.get();
     Workers.back()->Shared = &Control;
   }
 
@@ -556,6 +649,34 @@ SearchStats ParallelExplorer::run() {
     collectResume(std::move(InFlight), Queue.drainRemaining());
   }
   return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// closer::explore — the one search entry point
+//===----------------------------------------------------------------------===//
+
+SearchResult closer::explore(const Module &Mod, const SearchOptions &Options) {
+  SearchOptions Opts = Options;
+  // Normalize before constructing the backend so the options recorded in
+  // the result describe the search that actually ran.
+  if (Opts.Jobs == 0)
+    Opts.Jobs = 1;
+  if (Opts.stateCacheEnabled()) {
+    Opts.UseSleepSets = false; // Unsound with a cross-path visited cache.
+    // Fold the deprecated boolean alias into the explicit bit count.
+    Opts.StateCacheBits = Opts.effectiveStateCacheBits();
+    Opts.UseStateHashing = true;
+  }
+
+  ParallelExplorer Ex(Mod, Opts);
+  SearchResult R;
+  R.Options = std::move(Opts);
+  R.Stats = Ex.run();
+  R.Reports = Ex.reports();
+  R.Workers = Ex.workerStats();
+  R.Resume = Ex.resumePrefixes();
+  R.Uncovered = Ex.uncoveredVisibleOps();
+  return R;
 }
 
 std::vector<std::pair<std::string, NodeId>>

@@ -21,12 +21,23 @@
 ///  * the MaxRuns/MaxStates budgets and the StopOnFirstError stop flag
 ///    live in shared atomics consulted at every replay step;
 ///  * per-worker SearchStats are merged at exit, and ErrorReports are
-///    deduplicated by a hash of their choice sequence.
+///    deduplicated by a hash of their choice sequence (by the erroneous
+///    state's fingerprint under state caching, where distinct paths can
+///    report the same state);
+///  * under state caching, all workers share one concurrent fingerprint
+///    table (explorer/StateCache.h), so a state expanded by any worker is
+///    pruned everywhere else.
 ///
-/// The result is bit-identical to the sequential Explorer's on every
-/// tree-shaped statistic (states, tree transitions, leaf classification)
-/// and reports the same error set, independent of worker scheduling,
-/// because the work items partition the search tree exactly.
+/// Without caching, the result is bit-identical to the sequential
+/// Explorer's on every tree-shaped statistic (states, tree transitions,
+/// leaf classification) and reports the same error set, independent of
+/// worker scheduling, because the work items partition the search tree
+/// exactly. Under caching, the *report set* stays deterministic for
+/// truncation-free runs while visit order and replay-effort stats may
+/// vary; see docs/ALGORITHM.md "Concurrent state caching".
+///
+/// This class is an implementation detail of closer::explore() (Search.h):
+/// construct it directly only in tests that exercise the backend itself.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,9 +57,9 @@ public:
   ~ParallelExplorer();
 
   /// Runs the exploration to completion (or budget exhaustion) on
-  /// Options.Jobs worker threads. Jobs <= 1 — or the state-hashing
-  /// ablation, whose visited-set is inherently order-dependent — falls
-  /// back to the sequential Explorer.
+  /// Options.Jobs worker threads. Jobs <= 1 runs the sequential Explorer.
+  /// State caching is legal with any job count: the workers share one
+  /// concurrent fingerprint table.
   SearchStats run();
 
   const std::vector<ErrorReport> &reports() const { return Reports; }
@@ -78,9 +89,23 @@ private:
   /// A claimed unit of work: explore the whole subtree under Prefix.
   /// Decisions at index >= FreshFrom have not been executed by any other
   /// worker and count as fresh for stats/report purposes.
+  ///
+  /// When the donor held a checkpoint at or below the donation point, a
+  /// copy rides along (HasSnap): the receiver restores Snap and replays
+  /// only Prefix[SnapCursor..] instead of re-executing the whole prefix
+  /// from the initial state. Without it, a work item donated at depth d
+  /// costs d replayed transitions before any fresh exploration starts,
+  /// which dominates the wall clock of deep, donation-heavy runs.
   struct WorkItem {
     std::vector<ReplayStep> Prefix;
     size_t FreshFrom = 0;
+    bool HasSnap = false;
+    /// Number of leading Prefix steps Snap already covers; Snap is the
+    /// state *before* Prefix[SnapCursor] executes, with SnapSleep the
+    /// sleep set in force there (empty when sleep sets are off).
+    size_t SnapCursor = 0;
+    std::vector<int> SnapSleep;
+    SystemSnapshot Snap;
   };
 
   class WorkDeque;
@@ -109,6 +134,8 @@ private:
   std::vector<SearchStats> PerWorker;
   std::vector<std::vector<ReplayStep>> Resume;
   std::unordered_set<uint64_t> Covered; ///< Union of worker coverage sets.
+  /// The shared visited-state table when caching is on (rebuilt per run).
+  std::unique_ptr<StateCache> Cache;
 };
 
 } // namespace closer

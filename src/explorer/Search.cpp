@@ -31,6 +31,11 @@ std::string SearchStats::str() const {
   Out += " depth-limit-hits=" + std::to_string(DepthLimitHits);
   Out += " sleep-prunes=" + std::to_string(SleepSetPrunes);
   Out += " hash-prunes=" + std::to_string(HashPrunes);
+  if (CacheInserts || CacheHits || CacheSaturated) {
+    Out += " cache-hits=" + std::to_string(CacheHits);
+    Out += " cache-inserts=" + std::to_string(CacheInserts);
+    Out += " cache-saturated=" + std::to_string(CacheSaturated);
+  }
   if (ReportsDropped)
     Out += " reports-dropped=" + std::to_string(ReportsDropped);
   if (VisibleOpsTotal)
@@ -39,6 +44,48 @@ std::string SearchStats::str() const {
   Out += Completed      ? " (complete)"
          : Interrupted  ? " (interrupted)"
                         : " (budget exhausted)";
+  return Out;
+}
+
+std::vector<Diagnostic> SearchOptions::validate() const {
+  std::vector<Diagnostic> Out;
+  auto Error = [&Out](std::string Msg) {
+    Out.push_back({DiagKind::Error, SourceLoc(), std::move(Msg)});
+  };
+  auto Warning = [&Out](std::string Msg) {
+    Out.push_back({DiagKind::Warning, SourceLoc(), std::move(Msg)});
+  };
+
+  // Suspiciously huge values are negative CLI arguments wrapped through an
+  // unsigned conversion; reject rather than search forever.
+  constexpr uint64_t Absurd = uint64_t{1} << 40;
+  if (MaxDepth == 0 || MaxDepth > Absurd)
+    Error("search depth must be between 1 and 2^40 (was a negative value "
+          "passed?)");
+  if (Jobs == 0 || Jobs > 1024)
+    Error("jobs must be between 1 and 1024");
+  if (SplitDepth > Absurd)
+    Error("split depth is out of range (was a negative value passed?)");
+  if (CheckpointInterval > Absurd)
+    Error("checkpoint interval must be >= 1, or 0 to disable checkpointing "
+          "(was a negative value passed?)");
+  if (StateCacheBits &&
+      (StateCacheBits < StateCache::MinBits ||
+       StateCacheBits > StateCache::MaxBits))
+    Error("state cache size must be between 2^" +
+          std::to_string(StateCache::MinBits) + " and 2^" +
+          std::to_string(StateCache::MaxBits) + " slots (got 2^" +
+          std::to_string(StateCacheBits) + ")");
+  if (ProgressIntervalSeconds < 0)
+    Error("progress interval must be >= 0 seconds");
+  if (TimeBudgetSeconds < 0)
+    Error("time budget must be >= 0 seconds");
+  if (MaxReports == 0)
+    Error("max reports must be >= 1");
+
+  if (stateCacheEnabled() && UseSleepSets)
+    Warning("state caching disables sleep sets: pruning by a path-dependent "
+            "sleep set is unsound against a cross-path visited cache");
   return Out;
 }
 
@@ -230,6 +277,45 @@ Explorer::schedCandidates(const std::vector<int> &Enabled,
   return Base;
 }
 
+void Explorer::beginSubtree(std::vector<ReplayStep> Prefix, size_t FreshFrom,
+                            SystemSnapshot Snap, size_t SnapCursor,
+                            std::vector<int> SnapSleep) {
+  assert(SnapCursor < Prefix.size() &&
+         "snapshot must sit strictly inside the work-item prefix");
+  beginSubtree(std::move(Prefix), FreshFrom);
+  // Placeholder decisions for the snapshot-covered head: Cursor starts at
+  // SnapCursor on every run of this item, so these are never executed or
+  // backtracked (they sit below Floor) — they only have to serialize
+  // correctly, which needs exactly one option carrying the seed value.
+  for (size_t I = 0; I < SnapCursor; ++I) {
+    const ReplayStep &S = SeedPrefix[I];
+    Decision D;
+    switch (S.K) {
+    case ReplayStep::Kind::Sched:
+      D.K = Decision::Kind::Sched;
+      D.Procs = {static_cast<int>(S.Value)};
+      D.Chosen = 0;
+      break;
+    case ReplayStep::Kind::Toss:
+      D.K = Decision::Kind::Toss;
+      D.Bound = S.Value;
+      D.Chosen = static_cast<size_t>(S.Value);
+      break;
+    case ReplayStep::Kind::Env:
+      D.K = Decision::Kind::Env;
+      D.Bound = S.Value;
+      D.Chosen = static_cast<size_t>(S.Value);
+      break;
+    }
+    Path.push_back(std::move(D));
+  }
+  SeedCursor = SnapCursor;
+  SeedSnap.Cursor = SnapCursor;
+  SeedSnap.Sleep = std::move(SnapSleep);
+  SeedSnap.Snap = std::move(Snap);
+  SeedSnapValid = true;
+}
+
 bool Explorer::runOnce() {
   Cursor = 0;
   const bool Seeding = SeedCursor < SeedPrefix.size();
@@ -259,6 +345,7 @@ bool Explorer::runOnce() {
         Rep.Choices = currentChoices();
         Rep.Loc = V.Loc;
         Rep.Process = V.Process;
+        Rep.StateFp = Sys.fingerprint();
         report(std::move(Rep));
         if (Options.StopOnFirstError)
           requestStop();
@@ -270,6 +357,7 @@ bool Explorer::runOnce() {
         Rep.Choices = currentChoices();
         Rep.Error = R.Error;
         Rep.Process = R.Error.Process;
+        Rep.StateFp = Sys.fingerprint();
         if (R.Error.Kind == RunErrorKind::Divergence) {
           ++Stats.Divergences;
           Rep.Kind = ErrorReport::Type::Divergence;
@@ -299,6 +387,15 @@ bool Explorer::runOnce() {
     Cursor = C.Cursor;
     CurSleep = C.Sleep;
     Stats.TransitionsRestored += C.Snap.depth();
+  } else if (SeedSnapValid) {
+    // Work-item snapshot: the donor already executed (and its checkpoint
+    // captured) everything before SeedSnap.Cursor. Initialization errors
+    // were the root run's to report, so no HandleExec here — same as a
+    // regular checkpoint restore.
+    Sys.restore(SeedSnap.Snap);
+    Cursor = SeedSnap.Cursor;
+    CurSleep = SeedSnap.Sleep;
+    Stats.TransitionsRestored += SeedSnap.Snap.depth();
   } else {
     ExecResult Init = Sys.reset(Provider);
     HandleExec(Init);
@@ -367,11 +464,31 @@ bool Explorer::runOnce() {
         requestStop();
         return false;
       }
-      if (Options.UseStateHashing) {
-        if (!SeenHashes.insert(Sys.fingerprint()).second) {
+      if (Cache) {
+        // The cache consult happens only at fresh arrivals — replayed
+        // prefixes and checkpoint-restored suffixes never touch it, so
+        // backtracking cannot re-insert (or self-prune on) states it
+        // merely passes through again.
+        switch (Cache->insert(Sys.fingerprint())) {
+        case StateCache::Insert::Present:
           ++Stats.HashPrunes;
+          ++Stats.CacheHits;
+          if (Shared)
+            Shared->CacheHits.fetch_add(1, std::memory_order_relaxed);
           RecordLeafTrace();
           return true;
+        case StateCache::Insert::Inserted:
+          ++Stats.CacheInserts;
+          if (Shared)
+            Shared->CacheInserts.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case StateCache::Insert::Saturated:
+          // Table full: keep exploring without pruning (sound, possibly
+          // redundant). Never treat saturation as "seen".
+          ++Stats.CacheSaturated;
+          if (Shared)
+            Shared->CacheSaturated.fetch_add(1, std::memory_order_relaxed);
+          break;
         }
       }
       if (Enabled.empty()) {
@@ -382,6 +499,7 @@ bool Explorer::runOnce() {
           Rep.Depth = Sys.depth();
           Rep.TraceToError = Sys.trace();
           Rep.Choices = currentChoices();
+          Rep.StateFp = Sys.fingerprint();
           report(std::move(Rep));
           if (Options.StopOnFirstError && Options.DeadlockIsError)
             requestStop();
@@ -480,7 +598,11 @@ void Explorer::maybeCheckpoint(const std::vector<int> &CurSleep) {
   Checkpoint C;
   C.Cursor = Cursor;
   C.Sleep = CurSleep;
-  C.Snap = Sys.snapshot();
+  // Light flavor: checkpoints live and die on this explorer's own DFS
+  // path, so the O(depth) event trace is rewound by truncation instead of
+  // being copied in and out (donateOne materializes a full copy on the
+  // rare occasion a checkpoint leaves this path inside a work item).
+  C.Snap = Sys.snapshotLight();
   Ckpts.push_back(std::move(C));
 }
 
@@ -502,9 +624,20 @@ bool Explorer::backtrack() {
 SearchStats Explorer::run() {
   // Re-invocation starts from a clean slate: stats, reports, caches, and
   // any parallel work-item state left by a previous use of this explorer.
+  // An externally attached cache (ParallelExplorer's shared table) is the
+  // attacher's to manage; only a privately owned one is rebuilt here.
   Stats = SearchStats();
   Reports.clear();
-  SeenHashes.clear();
+  if (Cache == OwnedCache.get()) {
+    if (Options.stateCacheEnabled()) {
+      OwnedCache =
+          std::make_unique<StateCache>(Options.effectiveStateCacheBits());
+      Cache = OwnedCache.get();
+    } else {
+      OwnedCache.reset();
+      Cache = nullptr;
+    }
+  }
   CoveredOps.clear();
   Path.clear();
   Cursor = 0;
@@ -515,6 +648,8 @@ SearchStats Explorer::run() {
   SeedPrefix.clear();
   SeedCursor = 0;
   SeedFresh = 0;
+  SeedSnapValid = false;
+  SeedSnap = Checkpoint();
 
   for (;;) {
     bool Continue = runOnce();

@@ -22,8 +22,13 @@
 ///  * deadlocks, assertion violations, divergences and runtime errors are
 ///    reported with their full visible trace.
 ///
-/// A state-hashing mode (store fingerprints, prune revisits) is provided as
-/// an ablation of the stateless design.
+/// A state-caching mode (store fingerprints, prune revisits) is provided as
+/// an ablation of the stateless design; see explorer/StateCache.h.
+///
+/// The stable entry point for running a search is closer::explore(), which
+/// selects sequential, parallel, or cached execution from the options.
+/// Explorer (below) and ParallelExplorer (ParallelSearch.h) are the
+/// implementation underneath it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,10 +37,13 @@
 
 #include "explorer/Footprints.h"
 #include "explorer/Replay.h"
+#include "explorer/StateCache.h"
 #include "runtime/System.h"
+#include "support/Diagnostics.h"
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -54,8 +62,18 @@ struct SearchOptions {
   uint64_t MaxStates = 0;
   bool UsePersistentSets = true;
   bool UseSleepSets = true;
-  /// Ablation: store state fingerprints and prune revisits.
+  /// Ablation: store state fingerprints and prune revisits. Deprecated
+  /// spelling of StateCacheBits = StateCache::DefaultBits; kept so
+  /// existing callers (and the CLI's `--hash` alias) keep working.
   bool UseStateHashing = false;
+  /// State caching: log2 of the fingerprint-cache slot count (0 = off
+  /// unless UseStateHashing asks for the default size). The cache is a
+  /// bounded concurrent table (explorer/StateCache.h) shared across all
+  /// workers, so `--state-cache` composes with `--jobs N`. Sleep sets are
+  /// disabled whenever caching is on: their path-dependent pruning is
+  /// unsound against a cross-path visited set (a slept-on state could be
+  /// cache-pruned everywhere else and never get explored at all).
+  unsigned StateCacheBits = 0;
   bool StopOnFirstError = false;
   /// Treat deadlocks as errors for StopOnFirstError purposes.
   bool DeadlockIsError = true;
@@ -92,6 +110,25 @@ struct SearchOptions {
   /// by the monitor thread. Never written by the search.
   const std::atomic<bool> *ExternalStop = nullptr;
   SystemOptions Runtime;
+
+  /// The fingerprint-cache size in effect: StateCacheBits if set, the
+  /// default size when the deprecated UseStateHashing flag asks for
+  /// caching, 0 when caching is off.
+  unsigned effectiveStateCacheBits() const {
+    if (StateCacheBits)
+      return StateCacheBits;
+    return UseStateHashing ? StateCache::DefaultBits : 0;
+  }
+  bool stateCacheEnabled() const { return effectiveStateCacheBits() != 0; }
+
+  /// Centralized option validation: every constraint the explorers assume
+  /// (previously scattered as ad-hoc checks across the CLI and the
+  /// explorers). The CLI prints any errors and exits 1 before a search
+  /// starts; explore() merely clamps, so library callers who skip
+  /// validation still get a defined (if adjusted) run. Warnings describe
+  /// adjustments explore() applies automatically (e.g. sleep sets off
+  /// under caching).
+  std::vector<Diagnostic> validate() const;
 };
 
 /// State shared between the workers of a ParallelExplorer run: the global
@@ -110,6 +147,11 @@ struct SharedSearchControl {
   std::atomic<uint64_t> Reports{0};
   /// Deepest global state reached by any worker so far.
   std::atomic<uint64_t> MaxDepthSeen{0};
+  // State-cache traffic (zero when caching is off); progress-only, like
+  // Transitions/Reports above.
+  std::atomic<uint64_t> CacheHits{0};
+  std::atomic<uint64_t> CacheInserts{0};
+  std::atomic<uint64_t> CacheSaturated{0};
 
   void resetCounters() {
     StatesVisited.store(0);
@@ -118,6 +160,9 @@ struct SharedSearchControl {
     Transitions.store(0);
     Reports.store(0);
     MaxDepthSeen.store(0);
+    CacheHits.store(0);
+    CacheInserts.store(0);
+    CacheSaturated.store(0);
   }
 };
 
@@ -140,7 +185,16 @@ struct SearchStats {
   uint64_t RuntimeErrors = 0;
   uint64_t DepthLimitHits = 0;
   uint64_t SleepSetPrunes = 0;
+  /// Arrivals pruned because the state's fingerprint was already cached.
+  /// Legacy name; always equal to CacheHits.
   uint64_t HashPrunes = 0;
+  /// State-cache traffic (all zero when caching is off). CacheHits counts
+  /// pruned revisits, CacheInserts first-time stores, CacheSaturated fresh
+  /// arrivals the full cache declined to store (searched anyway: the
+  /// saturation policy is "stop inserting, keep searching").
+  uint64_t CacheHits = 0;
+  uint64_t CacheInserts = 0;
+  uint64_t CacheSaturated = 0;
   /// Error reports discarded because MaxReports was already reached.
   uint64_t ReportsDropped = 0;
   /// Visible-operation call sites executed at least once / total in the
@@ -171,9 +225,44 @@ struct ErrorReport {
   RunError Error;    ///< RuntimeError / Divergence details.
   SourceLoc Loc;     ///< Assertion location.
   int Process = -1;
+  /// Fingerprint of the erroneous global state. Under state caching, where
+  /// the same state can be reached freshly along different paths by
+  /// different workers, reports are deduplicated by state identity (this
+  /// field plus the error details) rather than by choice sequence.
+  uint64_t StateFp = 0;
 
   std::string str() const;
 };
+
+/// Everything a finished search produced, as returned by closer::explore().
+struct SearchResult {
+  /// The options the search actually ran with, after explore()'s
+  /// normalizations (sleep sets off under caching, Jobs clamped) — what a
+  /// run artifact should record as its self-description.
+  SearchOptions Options;
+  SearchStats Stats;
+  std::vector<ErrorReport> Reports;
+  /// Per-part statistics: element 0 is the seeding pass (or the single
+  /// explorer of a sequential run), then one entry per worker thread.
+  std::vector<SearchStats> Workers;
+  /// For interrupted runs: replayable choice prefixes of the abandoned
+  /// subtrees, deepest first. Empty for completed runs.
+  std::vector<std::vector<ReplayStep>> Resume;
+  /// Visible-operation call sites the search never exercised.
+  std::vector<std::pair<std::string, NodeId>> Uncovered;
+};
+
+/// The unified search entry point: closes over every execution mode.
+/// Selects sequential (Jobs <= 1), work-sharing parallel (Jobs > 1), and
+/// cached (stateCacheEnabled()) execution from \p Options, including the
+/// combination `--state-cache --jobs N` (one concurrent fingerprint table
+/// shared by all workers). Normalizations applied (see
+/// SearchOptions::validate() for the corresponding warnings): sleep sets
+/// are disabled when caching is on; Jobs == 0 runs sequentially.
+///
+/// All tools and tests should call this instead of constructing Explorer /
+/// ParallelExplorer directly.
+SearchResult explore(const Module &Mod, const SearchOptions &Options);
 
 class Explorer {
 public:
@@ -271,7 +360,18 @@ private:
     SeedPrefix = std::move(Prefix);
     SeedCursor = 0;
     SeedFresh = FreshFrom;
+    SeedSnapValid = false;
+    SeedSnap = Checkpoint();
   }
+  /// Like beginSubtree(), but the work item ships the donor's checkpoint
+  /// covering Prefix[0, SnapCursor): the first runOnce() restores \p Snap
+  /// with \p SnapSleep in force and replays only the prefix tail. The
+  /// covered head is materialized as placeholder decisions (single-option,
+  /// never executed) so currentChoices() and donation prefixes still
+  /// serialize the full path from the root.
+  void beginSubtree(std::vector<ReplayStep> Prefix, size_t FreshFrom,
+                    SystemSnapshot Snap, size_t SnapCursor,
+                    std::vector<int> SnapSleep);
 
   const Module &Mod;
   SearchOptions Options;
@@ -284,7 +384,12 @@ private:
   std::vector<Checkpoint> Ckpts;
   SearchStats Stats;
   std::vector<ErrorReport> Reports;
-  std::unordered_set<uint64_t> SeenHashes;
+  /// Visited-state fingerprint cache consulted at fresh arrivals. Either
+  /// owned (sequential caching: run() builds a private table) or attached
+  /// by ParallelExplorer (one table shared across all workers). Null when
+  /// caching is off.
+  StateCache *Cache = nullptr;
+  std::unique_ptr<StateCache> OwnedCache;
   /// Covered visible sites, packed as ProcIdx * 2^32 + NodeId.
   std::unordered_set<uint64_t> CoveredOps;
   bool StopFlag = false;
@@ -306,6 +411,12 @@ private:
   /// First prefix index whose execution counts as fresh (seeded items:
   /// prefix length — nothing; donated items: the donated sibling step).
   size_t SeedFresh = 0;
+  /// Work-item snapshot (see the snapshot beginSubtree overload): restored
+  /// whenever no regular checkpoint survives, so with CheckpointInterval 0
+  /// every path of the item still starts at SeedSnap.Cursor instead of the
+  /// initial state. Cursor/Sleep/Snap reuse the Checkpoint layout.
+  bool SeedSnapValid = false;
+  Checkpoint SeedSnap;
   /// Seeding mode: instead of descending past FrontierDepth decisions,
   /// emit the choice prefix here and treat the node as an artificial leaf.
   /// The frontier node itself is left uncounted for its future owner.

@@ -102,14 +102,48 @@ SystemSnapshot System::snapshot() const {
   S.Processes = Processes;
   S.Comms = Comms;
   S.EventTrace = EventTrace;
+  S.TraceLen = EventTrace.size();
+  S.HasTrace = true;
   S.NumTransitions = NumTransitions;
+  return S;
+}
+
+SystemSnapshot System::snapshotLight() const {
+  SystemSnapshot S;
+  S.Processes = Processes;
+  S.Comms = Comms;
+  S.TraceLen = EventTrace.size();
+  S.HasTrace = false;
+  S.NumTransitions = NumTransitions;
+  return S;
+}
+
+SystemSnapshot System::materializeTrace(const SystemSnapshot &Light) const {
+  SystemSnapshot S = Light;
+  if (!S.HasTrace) {
+    assert(EventTrace.size() >= S.TraceLen &&
+           "light snapshot outlived its capture path");
+    S.EventTrace.assign(EventTrace.begin(),
+                        EventTrace.begin() +
+                            static_cast<ptrdiff_t>(S.TraceLen));
+    S.HasTrace = true;
+  }
   return S;
 }
 
 void System::restore(const SystemSnapshot &S) {
   Processes = S.Processes;
   Comms = S.Comms;
-  EventTrace = S.EventTrace;
+  if (S.HasTrace) {
+    EventTrace = S.EventTrace;
+  } else {
+    // Same-path contract (see SystemSnapshot): the live trace still starts
+    // with the events that were in place at capture time, so rewinding is
+    // a truncation — no copy of the O(depth) prefix needed.
+    assert(EventTrace.size() >= S.TraceLen &&
+           "light snapshot restored off its capture path");
+    EventTrace.resize(S.TraceLen);
+  }
   NumTransitions = S.NumTransitions;
   // Snapshots are taken at transition boundaries, where no error is in
   // flight and no process is mid-execution.

@@ -163,8 +163,22 @@ public:
   /// from a fresh reset-and-replay, including fingerprints and traces.
   SystemSnapshot snapshot() const;
 
+  /// Like snapshot(), but records only the event trace's length instead of
+  /// copying it: O(state) instead of O(depth). Restoring such a snapshot
+  /// truncates the live trace, which is only correct while this System
+  /// stays on the DFS path the snapshot was taken on (see SystemSnapshot).
+  SystemSnapshot snapshotLight() const;
+
+  /// Completes a snapshotLight() result into a full, shippable snapshot by
+  /// copying the first TraceLen events of the current trace. Only valid
+  /// while the light snapshot is restorable here (same-path requirement):
+  /// then the live trace's prefix is exactly the trace at capture time.
+  SystemSnapshot materializeTrace(const SystemSnapshot &Light) const;
+
   /// Restores the state captured by snapshot(). The snapshot must come
-  /// from a System bound to the same Module.
+  /// from a System bound to the same Module (any instance for full
+  /// snapshots; the capturing instance, still on the capture path, for
+  /// light ones).
   void restore(const SystemSnapshot &S);
 
   //===--------------------------------------------------------------------===//
@@ -289,6 +303,16 @@ private:
 /// System::snapshot() and consumed by System::restore(). Cheap to copy and
 /// assign; the explorer keeps a small stack of these along its DFS path so
 /// backtracking can restore a prefix instead of re-executing it.
+///
+/// Two flavors differ only in how the event trace is captured:
+///  * snapshot() stores a full copy — restorable into any System built
+///    from the same Module (work items ship these across workers);
+///  * snapshotLight() stores just the trace length. Restoring one
+///    truncates the live trace to that length, which is only correct when
+///    the System is on the same DFS path the snapshot was taken on (the
+///    trace is append-only along a path, so the prefix is still intact).
+///    This keeps per-checkpoint cost O(state) instead of O(depth) — on
+///    deep paths the trace dwarfs the rest of the state.
 class SystemSnapshot {
 public:
   SystemSnapshot() = default;
@@ -302,6 +326,8 @@ private:
   std::vector<System::ProcessRT> Processes;
   std::vector<System::CommState> Comms;
   Trace EventTrace;
+  size_t TraceLen = 0;
+  bool HasTrace = true;
   size_t NumTransitions = 0;
 };
 

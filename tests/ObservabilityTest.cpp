@@ -18,7 +18,6 @@
 
 #include "closing/Pipeline.h"
 #include "explorer/Observability.h"
-#include "explorer/ParallelSearch.h"
 #include "explorer/Replay.h"
 
 #include "gtest/gtest.h"
@@ -57,6 +56,9 @@ TEST(ObservabilityTest, StatsJsonFieldForField) {
   S.DepthLimitHits = 41;
   S.SleepSetPrunes = 43;
   S.HashPrunes = 47;
+  S.CacheHits = 67;
+  S.CacheInserts = 71;
+  S.CacheSaturated = 73;
   S.ReportsDropped = 53;
   S.VisibleOpsCovered = 59;
   S.VisibleOpsTotal = 61;
@@ -82,6 +84,9 @@ TEST(ObservabilityTest, StatsJsonFieldForField) {
   field("\"depth_limit_hits\": 41");
   field("\"sleep_set_prunes\": 43");
   field("\"hash_prunes\": 47");
+  field("\"cache_hits\": 67");
+  field("\"cache_inserts\": 71");
+  field("\"cache_saturated\": 73");
   field("\"reports_dropped\": 53");
   field("\"visible_ops_covered\": 59");
   field("\"visible_ops_total\": 61");
@@ -117,31 +122,33 @@ TEST(ObservabilityTest, RunArtifactMatchesInMemoryStats) {
 
   SearchOptions Opts;
   Opts.MaxDepth = 30;
-  ParallelExplorer Ex(*Mod, Opts);
-  SearchStats Stats = Ex.run();
+  SearchResult Result = explore(*Mod, Opts);
+  const SearchStats &Stats = Result.Stats;
   EXPECT_TRUE(Stats.Completed);
   EXPECT_GT(Stats.Deadlocks, 0u);
 
-  json::Value Root = runArtifactToJson(Ex, Opts);
+  json::Value Root = runArtifactToJson(Result);
   // Compact mode nests sub-objects byte-identically to their standalone
   // serialization, so the artifact's "stats" member can be checked against
   // statsToJson of the in-memory result as a plain substring.
   std::string J = Root.str();
-  EXPECT_NE(J.find(statsToJson(Ex.stats()).str()), std::string::npos) << J;
+  EXPECT_NE(J.find(statsToJson(Stats).str()), std::string::npos) << J;
   EXPECT_NE(J.find("\"schema\": \"closer-explore-stats-v1\""),
             std::string::npos);
   EXPECT_NE(J.find("\"interrupted\": false"), std::string::npos);
   EXPECT_NE(J.find("\"kind\": \"deadlock\""), std::string::npos);
+  // Reports carry the erroneous state's identity.
+  EXPECT_NE(J.find("\"state_fingerprint\": "), std::string::npos);
   // Completed run: nothing to resume.
   EXPECT_NE(J.find("\"resume\": []"), std::string::npos);
-  EXPECT_TRUE(Ex.resumePrefixes().empty());
+  EXPECT_TRUE(Result.Resume.empty());
 
   // Per-worker breakdown: with the default Jobs=1 a single sequential
   // entry whose counters equal the total (only the aggregate carries the
   // run's wall clock).
-  ASSERT_EQ(Ex.workerStats().size(), 1u);
-  SearchStats Worker = Ex.workerStats()[0];
-  SearchStats Total = Ex.stats();
+  ASSERT_EQ(Result.Workers.size(), 1u);
+  SearchStats Worker = Result.Workers[0];
+  SearchStats Total = Stats;
   Worker.WallSeconds = Total.WallSeconds = 0;
   EXPECT_EQ(statsToJson(Worker).str(), statsToJson(Total).str());
 }

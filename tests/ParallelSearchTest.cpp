@@ -79,11 +79,10 @@ void expectParallelMatchesSequential(const Module &Mod, SearchOptions Opts,
   Explorer Sequential(Mod, Seq);
   SearchStats SeqStats = Sequential.run();
 
-  ParallelExplorer Parallel(Mod, Opts);
-  SearchStats ParStats = Parallel.run();
+  SearchResult Parallel = explore(Mod, Opts);
 
-  EXPECT_EQ(treeShape(SeqStats), treeShape(ParStats)) << Label;
-  EXPECT_EQ(errorSet(Sequential.reports()), errorSet(Parallel.reports()))
+  EXPECT_EQ(treeShape(SeqStats), treeShape(Parallel.Stats)) << Label;
+  EXPECT_EQ(errorSet(Sequential.reports()), errorSet(Parallel.Reports))
       << Label;
 }
 
@@ -148,8 +147,8 @@ TEST(ParallelSearchTest, SharedStateBudgetStopsAllWorkers) {
   Opts.Jobs = 4;
   Opts.MaxStates = 50;
 
-  ParallelExplorer Ex(*Mod, Opts);
-  SearchStats Stats = Ex.run();
+  SearchResult R = explore(*Mod, Opts);
+  const SearchStats &Stats = R.Stats;
   EXPECT_FALSE(Stats.Completed);
   // The budget is a global atomic; each worker can overshoot by at most
   // the one state it counts between two stop-flag checks.
@@ -166,11 +165,10 @@ TEST(ParallelSearchTest, StopOnFirstErrorStopsParallelRun) {
   Opts.Jobs = 4;
   Opts.StopOnFirstError = true;
 
-  ParallelExplorer Ex(*Mod, Opts);
-  SearchStats Stats = Ex.run();
-  EXPECT_GE(Stats.Deadlocks, 1u);
-  EXPECT_GE(Ex.reports().size(), 1u);
-  EXPECT_FALSE(Stats.Completed);
+  SearchResult R = explore(*Mod, Opts);
+  EXPECT_GE(R.Stats.Deadlocks, 1u);
+  EXPECT_GE(R.Reports.size(), 1u);
+  EXPECT_FALSE(R.Stats.Completed);
 }
 
 TEST(ParallelSearchTest, NegativeTossBranchBoundIsReportedNotEnumerated) {

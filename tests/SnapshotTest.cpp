@@ -226,10 +226,10 @@ void expectCheckpointedMatchesStateless(const Module &Mod,
   SearchOptions Par = Opts;
   Par.Jobs = 4;
   Par.CheckpointInterval = 2;
-  ParallelExplorer Parallel(Mod, Par);
-  SearchStats ParStats = Parallel.run();
-  EXPECT_EQ(treeShape(Base), treeShape(ParStats)) << Label << " jobs=4 K=2";
-  EXPECT_EQ(errorSet(Stateless.reports()), errorSet(Parallel.reports()))
+  SearchResult Parallel = explore(Mod, Par);
+  EXPECT_EQ(treeShape(Base), treeShape(Parallel.Stats))
+      << Label << " jobs=4 K=2";
+  EXPECT_EQ(errorSet(Stateless.reports()), errorSet(Parallel.Reports))
       << Label << " jobs=4 K=2";
 }
 

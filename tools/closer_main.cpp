@@ -24,7 +24,6 @@
 #include "closing/Pipeline.h"
 #include "envgen/NaiveClose.h"
 #include "explorer/Observability.h"
-#include "explorer/ParallelSearch.h"
 #include "explorer/Replay.h"
 #include "explorer/Search.h"
 #include "support/CommandLine.h"
@@ -53,19 +52,24 @@ void usage() {
       Print the closed control-flow graph listing(s).
   closer dot <file.mc> <proc>
       Print Graphviz dot for one closed procedure.
-  closer explore <file.mc> [--depth N] [--max-runs N] [--no-por] [--hash]
-                 [--stop-on-error] [--env-domain N] [--open] [--jobs N]
-                 [--checkpoint-interval K] [--stats-json FILE]
-                 [--progress[=SECS]] [--time-budget SECS]
+  closer explore <file.mc> [--depth N] [--max-runs N] [--no-por]
+                 [--state-cache[=BITS]] [--stop-on-error] [--env-domain N]
+                 [--open] [--jobs N] [--checkpoint-interval K]
+                 [--stats-json FILE] [--progress[=SECS]]
+                 [--time-budget SECS]
       Close (unless --open) and systematically explore the state space.
       --jobs N > 1 explores disjoint subtrees on N worker threads.
       --checkpoint-interval K snapshots the system every K states so
       backtracking restores instead of re-executing prefixes (default 8;
       0 = pure stateless search). Results are identical for any K.
-      --hash stores state fingerprints and prunes revisited states (an
-      ablation of the stateless design); the visited set is traversal-
-      order dependent, so --hash always runs sequentially even with
-      --jobs N.
+      --state-cache[=BITS] prunes revisited states with a bounded
+      concurrent fingerprint table of 2^BITS slots (default 20, ~8 MiB).
+      Legal with any --jobs count: workers share one table, so a state
+      expanded anywhere is pruned everywhere. When the table fills, the
+      search keeps going without inserting (sound; reported as
+      cache-saturated). Sleep sets are disabled under caching (pruning
+      by a path-local sleep set is unsound against a cross-path cache).
+      --hash is a deprecated alias for --state-cache.
       --stats-json FILE writes the full run statistics (per-worker
       breakdowns, wall clock, reports, resume prefixes) as JSON.
       --progress[=SECS] prints a progress line to stderr every SECS
@@ -120,6 +124,9 @@ const FlagSpec &closerFlagSpec() {
       // `--progress` alone uses the default interval; `--progress=0.5`
       // overrides it. It never consumes the next argument.
       {"--progress", FlagArity::OptionalValue},
+      // `--state-cache` alone uses the default table size;
+      // `--state-cache=24` overrides the bit count.
+      {"--state-cache", FlagArity::OptionalValue},
   };
   return Spec;
 }
@@ -248,8 +255,17 @@ int cmdExplore(const Args &A) {
     Opts.UsePersistentSets = false;
     Opts.UseSleepSets = false;
   }
-  if (A.has("--hash"))
+  if (A.has("--state-cache")) {
+    const std::string *V = A.value("--state-cache");
+    long Bits = (V && !V->empty()) ? A.intOf("--state-cache", 0)
+                                   : StateCache::DefaultBits;
+    Opts.StateCacheBits = Bits > 0 ? static_cast<unsigned>(Bits) : 0;
+  }
+  if (A.has("--hash")) {
+    std::fprintf(stderr, "warning: --hash is deprecated; use "
+                         "--state-cache[=BITS]\n");
     Opts.UseStateHashing = true;
+  }
   long Jobs = A.intOf("--jobs", 1);
   Opts.Jobs = Jobs > 0 ? static_cast<size_t>(Jobs) : 1;
   // The library defaults to the paper's pure stateless search; the CLI
@@ -268,34 +284,45 @@ int cmdExplore(const Args &A) {
   std::string StatsJsonPath = A.strOf("--stats-json", "");
   if (!argsOk(A))
     return 1;
+
+  // One centralized options check instead of scattered ad-hoc clamps: all
+  // diagnostics are printed, and any error stops the run before it starts.
+  bool BadOpts = false;
+  for (const Diagnostic &D : Opts.validate()) {
+    std::fprintf(stderr, "%s\n", D.str().c_str());
+    BadOpts |= D.Kind == DiagKind::Error;
+  }
+  if (BadOpts)
+    return 1;
+
   Opts.ExternalStop = &GInterruptRequested;
   std::signal(SIGINT, closerOnSigint);
 
-  // ParallelExplorer with Jobs == 1 runs the plain sequential search, so
-  // the default behavior is untouched.
-  ParallelExplorer Ex(*ToExplore, Opts);
-  SearchStats Stats = Ex.run();
+  // explore() selects the backend (sequential, parallel, cached) from the
+  // options; with the defaults it runs the plain sequential search.
+  SearchResult Result = explore(*ToExplore, Opts);
+  const SearchStats &Stats = Result.Stats;
   std::signal(SIGINT, SIG_DFL);
 
   std::printf("%s\n", Stats.str().c_str());
   if (Stats.VisibleOpsCovered < Stats.VisibleOpsTotal) {
     std::printf("uncovered visible operations:\n");
-    for (const auto &[Proc, Node] : Ex.uncoveredVisibleOps())
+    for (const auto &[Proc, Node] : Result.Uncovered)
       std::printf("  %s node N%u\n", Proc.c_str(), Node);
   }
   if (Stats.Interrupted) {
     std::printf("interrupted after %.1fs; deepest in-flight prefixes "
                 "(resume by hand via `closer explore` / `closer replay`):\n",
                 Stats.WallSeconds);
-    for (const std::vector<ReplayStep> &P : Ex.resumePrefixes())
+    for (const std::vector<ReplayStep> &P : Result.Resume)
       std::printf("replay: %s\n", replayToString(P).c_str());
   }
-  for (const ErrorReport &Rep : Ex.reports())
+  for (const ErrorReport &Rep : Result.Reports)
     std::printf("\n%s", Rep.str().c_str());
 
   if (!StatsJsonPath.empty()) {
     std::string Err;
-    if (!json::writeJsonFile(StatsJsonPath, runArtifactToJson(Ex, Opts),
+    if (!json::writeJsonFile(StatsJsonPath, runArtifactToJson(Result),
                              &Err)) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 1;
