@@ -12,7 +12,14 @@
 #     generated switchapp must produce a schema-tagged, well-formed
 #     artifact even when the search is cut short;
 #   * a cached parallel smoke run (`--state-cache --jobs 4`) must report
-#     the cache counters in the stats artifact.
+#     the cache counters in the stats artifact;
+#   * the pass-pipeline suite is re-run explicitly under Asan+UBSan (the
+#     module-replacement / in-place-mutation paths are where a dangling
+#     cached-analysis pointer would surface);
+#   * `closer close --stats-json` runs must produce well-formed
+#     closer-close-stats-v1 artifacts: per-pass timings, analysis
+#     computed/reused counters (cold close computes each analysis exactly
+#     once; partition -> close shows genuine reuse) and the closing stats.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 
@@ -35,6 +42,14 @@ if (cd "$BUILD" && ctest -N -R 'Tsan\.StateCache' | grep 'Tsan\.StateCache' >/de
   (cd "$BUILD" && ctest --output-on-failure -R 'Tsan\.StateCache')
 else
   echo "warning: no Tsan.StateCache tests discovered (Tsan tree build?)" >&2
+fi
+
+echo "== asan pass-pipeline suite =="
+# Same silent-disappearance guard as the tsan gate above.
+if (cd "$BUILD" && ctest -N -R 'Asan\.PassPipeline' | grep 'Asan\.PassPipeline' >/dev/null); then
+  (cd "$BUILD" && ctest --output-on-failure -R 'Asan\.PassPipeline')
+else
+  echo "warning: no Asan.PassPipeline tests discovered (sanitizer tree build?)" >&2
 fi
 
 echo "== artifact schema checks =="
@@ -119,6 +134,62 @@ assert stats["cache_inserts"] > 0, "cache never inserted"
 assert stats["cache_saturated"] == 0, "smoke run saturated a 2^16 cache"
 print(f"ok: {path} (cache_inserts={stats['cache_inserts']}, "
       f"cache_hits={stats['cache_hits']})")
+EOF
+
+echo "== close --stats-json smoke (cold close) =="
+"$CLOSER" close examples/minic/figure2.mc \
+  --stats-json "$TMP/close.json" >/dev/null 2>&1
+"$PY" - "$TMP/close.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    art = json.load(f)
+assert art["schema"] == "closer-close-stats-v1", art.get("schema")
+assert art["ok"] is True
+for key in ("options", "passes", "analyses", "closing", "partition", "naive"):
+    assert key in art, f"missing '{key}'"
+names = [p["name"] for p in art["passes"]]
+assert names == ["parse", "sema", "lower", "verify", "close"], names
+for p in art["passes"]:
+    assert isinstance(p["wall_seconds"], (int, float)) and p["wall_seconds"] >= 0
+for a in ("alias", "defuse", "envtaint"):
+    rec = art["analyses"][a]
+    assert "computed" in rec and "reused" in rec, a
+# Cold close: each analysis computed exactly once (define-use once per
+# procedure), nothing served from a warm cache beforehand.
+assert art["analyses"]["alias"]["computed"] == 1, art["analyses"]
+assert art["analyses"]["envtaint"]["computed"] == 1, art["analyses"]
+assert art["analyses"]["defuse"]["reused"] == 0, art["analyses"]
+closing = art["closing"]
+for key in ("nodes_before", "nodes_after", "toss_nodes_inserted",
+            "params_removed", "env_calls_removed"):
+    assert key in closing, f"closing missing '{key}'"
+assert closing["nodes_before"] > 0
+print(f"ok: {path} (passes={names}, "
+      f"defuse_computed={art['analyses']['defuse']['computed']})")
+EOF
+
+echo "== close --partition --stats-json smoke (warm cache) =="
+"$CLOSER" close examples/minic/resource_manager.mc --partition \
+  --verify-each --stats-json "$TMP/partition.json" >/dev/null 2>&1
+"$PY" - "$TMP/partition.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    art = json.load(f)
+assert art["schema"] == "closer-close-stats-v1", art.get("schema")
+assert art["ok"] is True
+names = [p["name"] for p in art["passes"]]
+assert names == ["parse", "sema", "lower", "verify", "partition", "close"], names
+assert art["options"]["verify_each"] is True
+assert art["partition"]["inputs_partitioned"] + \
+       art["partition"]["params_partitioned"] > 0, art["partition"]
+# partition warmed the cache; close must have reused, not recomputed.
+analyses = art["analyses"]
+reused = sum(analyses[a]["reused"] for a in ("alias", "defuse", "envtaint"))
+assert reused > 0, analyses
+assert analyses["alias"]["computed"] == 1, analyses
+print(f"ok: {path} (reused={reused})")
 EOF
 
 echo "== all checks passed =="

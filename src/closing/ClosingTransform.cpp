@@ -11,6 +11,7 @@
 #include <cassert>
 #include <map>
 #include <set>
+#include <tuple>
 
 using namespace closer;
 
@@ -289,4 +290,55 @@ Module closer::closeModule(const Module &Mod, const ClosingOptions &Options,
                            ClosingStats *Stats) {
   EnvAnalysis Analysis(Mod, Options.Taint);
   return closeModule(Mod, Analysis, Options, Stats);
+}
+
+size_t closer::dedupTossBranches(ProcCfg &Proc) {
+  size_t Removed = 0;
+  // Merging one toss into another can make a third toss (whose arcs were
+  // redirected) newly identical to a fourth; iterate to a fixpoint.
+  for (;;) {
+    // Key: bound plus the full labeled arc vector.
+    std::map<std::pair<int64_t, std::vector<std::tuple<ArcKind, int64_t,
+                                                       NodeId>>>,
+             NodeId>
+        Seen;
+    std::map<NodeId, NodeId> Remap;
+    for (size_t I = 0, E = Proc.Nodes.size(); I != E; ++I) {
+      const CfgNode &Node = Proc.Nodes[I];
+      if (Node.Kind != CfgNodeKind::TossBranch)
+        continue;
+      std::vector<std::tuple<ArcKind, int64_t, NodeId>> Arcs;
+      Arcs.reserve(Node.Arcs.size());
+      for (const CfgArc &Arc : Node.Arcs)
+        Arcs.emplace_back(Arc.Kind, Arc.Value, Arc.Target);
+      auto [It, Inserted] = Seen.try_emplace(
+          {Node.TossBound, std::move(Arcs)}, static_cast<NodeId>(I));
+      if (!Inserted)
+        Remap.emplace(static_cast<NodeId>(I), It->second);
+    }
+    if (Remap.empty())
+      break;
+    for (CfgNode &Node : Proc.Nodes)
+      for (CfgArc &Arc : Node.Arcs) {
+        auto It = Remap.find(Arc.Target);
+        if (It != Remap.end())
+          Arc.Target = It->second;
+      }
+    Removed += Remap.size();
+  }
+  if (Removed)
+    pruneUnreachableNodes(Proc);
+  return Removed;
+}
+
+size_t closer::dedupTossBranches(Module &Mod,
+                                 std::vector<size_t> *ChangedProcs) {
+  size_t Removed = 0;
+  for (size_t P = 0, E = Mod.Procs.size(); P != E; ++P) {
+    size_t N = dedupTossBranches(Mod.Procs[P]);
+    if (N && ChangedProcs)
+      ChangedProcs->push_back(P);
+    Removed += N;
+  }
+  return Removed;
 }

@@ -63,6 +63,7 @@ struct ClosingStats {
   size_t PayloadsSanitized = 0; ///< Visible-op arguments replaced by unknown.
   size_t EnvCallsRemoved = 0;   ///< env_input/env_output nodes eliminated.
   size_t NodesEliminated = 0;   ///< Unmarked assignment/conditional nodes.
+  size_t TossNodesDeduped = 0;  ///< Removed by the standalone dedup pass.
 };
 
 /// Closes \p Mod with its most general environment: returns the transformed
@@ -79,6 +80,20 @@ Module closeModule(const Module &Mod, const ClosingOptions &Options = {},
 /// \p ProcIdx preserved in the transformed graph?
 bool isMarkedNode(const Module &Mod, const EnvAnalysis &Analysis,
                   size_t ProcIdx, NodeId N);
+
+/// Standalone form of the §5/§7 redundant-toss elimination, applicable to
+/// any module (ClosingOptions::DedupTosses performs the same merge inline
+/// during closing): TossBranch nodes of a procedure with identical bound
+/// and successor arcs are merged, iterated to a fixpoint so chains of
+/// tosses collapse too, and unreachable nodes are pruned. Returns the
+/// number of toss nodes removed.
+size_t dedupTossBranches(ProcCfg &Proc);
+
+/// Whole-module variant; when \p ChangedProcs is non-null it receives the
+/// indices of the procedures that were rewritten (for per-procedure
+/// analysis invalidation).
+size_t dedupTossBranches(Module &Mod,
+                         std::vector<size_t> *ChangedProcs = nullptr);
 
 } // namespace closer
 

@@ -7,8 +7,7 @@
 
 #include "closing/DomainPartition.h"
 
-#include "dataflow/AliasAnalysis.h"
-#include "dataflow/DefUse.h"
+#include "dataflow/AnalysisManager.h"
 
 #include <algorithm>
 #include <cassert>
@@ -136,25 +135,29 @@ NodeId spliceChoice(ProcCfg &Proc, const std::string &Var,
 
 } // namespace
 
-Module closer::partitionInputs(const Module &Mod,
-                               const PartitionOptions &Options,
-                               PartitionStats *Stats) {
+bool closer::partitionInputsInPlace(Module &Mod, AnalysisManager &AM,
+                                    const PartitionOptions &Options,
+                                    PartitionStats *Stats) {
   PartitionStats Local;
   PartitionStats &S = Stats ? *Stats : Local;
-
-  Module Out = Mod.clone();
-  AliasAnalysis Alias(Out);
+  assert(&AM.module() == &Mod && "manager must be bound to the module");
+  bool AnyChanged = false;
 
   // Which procedures are called internally (their parameters are not pure
   // environment interfaces even if a process also instantiates them)?
   std::set<std::string> InternallyCalled;
-  for (const ProcCfg &Proc : Out.Procs)
+  for (const ProcCfg &Proc : Mod.Procs)
     for (const CfgNode &Node : Proc.Nodes)
       if (Node.Kind == CfgNodeKind::Call && Node.Builtin == BuiltinKind::None)
         InternallyCalled.insert(Node.Callee);
 
-  for (ProcCfg &Proc : Out.Procs) {
-    ProcDataflow DF(Out, Proc, Alias);
+  for (size_t PI = 0, PE = Mod.Procs.size(); PI != PE; ++PI) {
+    ProcCfg &Proc = Mod.Procs[PI];
+    // The define-use graph of the pristine procedure. Requested eagerly so
+    // a partition pre-pass warms the cache for every procedure, changed or
+    // not.
+    const ProcDataflow *DF = &AM.getDefUse(PI);
+    bool ProcChanged = false;
 
     // --- env_input() sites -----------------------------------------------
     size_t OriginalCount = Proc.Nodes.size();
@@ -173,8 +176,8 @@ Module closer::partitionInputs(const Module &Mod,
         continue;
       }
       std::set<int64_t> Constants;
-      if (!usesAreEligible(Proc, DF.duSuccessors(static_cast<NodeId>(I)), Var,
-                           Constants) ||
+      if (!usesAreEligible(Proc, DF->duSuccessors(static_cast<NodeId>(I)),
+                           Var, Constants) ||
           Constants.empty()) {
         ++S.InputsLeftOpen;
         continue;
@@ -201,8 +204,14 @@ Module closer::partitionInputs(const Module &Mod,
       Orig.Value = Expr::intLit(0, Loc);
       Orig.Arcs.clear();
       Orig.Arcs.push_back({ArcKind::Always, 0, TossId});
+      ProcChanged = true;
       ++S.InputsPartitioned;
       S.RepresentativesTotal += Reps.size();
+    }
+
+    if (ProcChanged) {
+      AM.invalidateProc(PI, /*AliasPreserved=*/true);
+      AnyChanged = true;
     }
 
     // --- env process arguments -------------------------------------------
@@ -211,7 +220,7 @@ Module closer::partitionInputs(const Module &Mod,
     // All instantiations must agree that a parameter is environment-bound.
     std::vector<int> EnvBound(Proc.Params.size(), -1); // -1 unseen, 1 env,
                                                        // 0 mixed/const.
-    for (const ProcessDecl &Inst : Out.Processes) {
+    for (const ProcessDecl &Inst : Mod.Processes) {
       if (Inst.ProcName != Proc.Name)
         continue;
       for (size_t P = 0; P < Proc.Params.size() && P < Inst.Args.size();
@@ -224,7 +233,9 @@ Module closer::partitionInputs(const Module &Mod,
       }
     }
 
-    ProcDataflow DF2(Out, Proc, Alias);
+    // Fresh define-use facts after the env_input rewrites above (a cache
+    // hit when nothing changed).
+    DF = &AM.getDefUse(PI);
     for (size_t P = 0; P != Proc.Params.size(); ++P) {
       if (EnvBound[P] != 1)
         continue;
@@ -236,9 +247,9 @@ Module closer::partitionInputs(const Module &Mod,
       std::set<int64_t> Constants;
       bool Eligible = true;
       for (size_t I = 0, E = Proc.Nodes.size(); I != E && Eligible; ++I) {
-        if (!DF2.uses(static_cast<NodeId>(I)).count(Var))
+        if (!DF->uses(static_cast<NodeId>(I)).count(Var))
           continue;
-        if (!DF2.paramEntryReaches(static_cast<NodeId>(I), Var))
+        if (!DF->paramEntryReaches(static_cast<NodeId>(I), Var))
           continue;
         const CfgNode &M = Proc.Nodes[I];
         if (M.Kind != CfgNodeKind::Branch ||
@@ -267,19 +278,35 @@ Module closer::partitionInputs(const Module &Mod,
       // Drop the parameter; keep storage as a local.
       Proc.Locals.push_back({Var, -1});
       Proc.Params.erase(Proc.Params.begin() + static_cast<long>(P));
-      for (ProcessDecl &Inst : Out.Processes) {
+      for (ProcessDecl &Inst : Mod.Processes) {
         if (Inst.ProcName != Proc.Name)
           continue;
         if (P < Inst.Args.size())
           Inst.Args.erase(Inst.Args.begin() + static_cast<long>(P));
       }
-      // Parameter indices shifted; restart the scan for this procedure.
+      // Parameter indices shifted and the CFG grew; restart the scan for
+      // this procedure against recomputed define-use facts. (The old
+      // two-step driver kept consulting the stale pre-splice graph here,
+      // indexing past its node vectors when a procedure had a second
+      // partitionable parameter.)
       EnvBound.erase(EnvBound.begin() + static_cast<long>(P));
+      AM.invalidateProc(PI, /*AliasPreserved=*/true);
+      DF = &AM.getDefUse(PI);
+      AnyChanged = true;
       ++S.ParamsPartitioned;
       S.RepresentativesTotal += Reps.size();
       --P;
     }
   }
 
+  return AnyChanged;
+}
+
+Module closer::partitionInputs(const Module &Mod,
+                               const PartitionOptions &Options,
+                               PartitionStats *Stats) {
+  Module Out = Mod.clone();
+  AnalysisManager AM(Out);
+  partitionInputsInPlace(Out, AM, Options, Stats);
   return Out;
 }

@@ -42,6 +42,8 @@
 
 namespace closer {
 
+class AnalysisManager;
+
 struct PartitionOptions {
   /// Inputs whose representative set exceeds this are left open ("if it is
   /// small enough", §7).
@@ -66,6 +68,17 @@ struct PartitionStats {
 /// \endcode
 Module partitionInputs(const Module &Mod, const PartitionOptions &Options = {},
                        PartitionStats *Stats = nullptr);
+
+/// In-place, cached-analysis variant used by the pass pipeline: rewrites
+/// \p Mod directly, pulling alias and define-use results from \p AM and
+/// invalidating (per procedure, alias-preserved — the eligibility rules
+/// exclude address-taken variables, so no points-to fact changes) exactly
+/// the procedures it rewrites. Procedures left untouched keep their cached
+/// analyses for downstream passes to reuse. Returns true when anything
+/// changed. \p AM must be bound to \p Mod.
+bool partitionInputsInPlace(Module &Mod, AnalysisManager &AM,
+                            const PartitionOptions &Options = {},
+                            PartitionStats *Stats = nullptr);
 
 } // namespace closer
 

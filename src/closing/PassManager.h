@@ -1,0 +1,177 @@
+//===- PassManager.h - Pass pipeline for the closing side ------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LLVM-style pass manager over which the whole closing side is
+/// expressed: the frontend (parse / sema / lower), the CFG verifier, the
+/// Figure 1 closing transformation, the §7 input-domain partitioning, the
+/// redundant-toss elimination, the §3 naive baseline and the interface
+/// inventory are all uniform passes run by one PassPipeline against one
+/// CompilationContext.
+///
+/// The context owns the module *and* an AnalysisManager, so a pipeline such
+/// as `partition → close` shares cached alias / define-use / taint results
+/// across passes instead of recomputing them per entry point — previously
+/// `closer partition | closer close` round-tripped through source text
+/// twice and re-ran every analysis from scratch each time.
+///
+/// Contracts passes rely on:
+///
+///  * Transform passes that touch only some procedures mutate
+///    `Module::Procs[i]` in place and call
+///    `AnalysisManager::invalidateProc`; the Procs vector is never resized,
+///    so cached per-procedure analyses of untouched procedures stay valid.
+///  * Transform passes that rebuild the module wholesale (close,
+///    naive-close) go through `CompilationContext::replaceModule`, which
+///    rebinds the analysis manager *before* the old module dies.
+///  * A pass returning false aborts the pipeline; it must have explained
+///    why through Ctx.Diags.
+///
+/// Most callers want the closer::compile() facade in closing/Pipeline.h
+/// rather than this header; PassManager.h is for composing custom
+/// pipelines and for tests that poke individual passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_CLOSING_PASSMANAGER_H
+#define CLOSER_CLOSING_PASSMANAGER_H
+
+#include "closing/ClosingTransform.h"
+#include "closing/DomainPartition.h"
+#include "closing/InterfaceReport.h"
+#include "dataflow/AnalysisManager.h"
+#include "envgen/NaiveClose.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace closer {
+
+struct Program;
+
+/// Options steering one pipeline run. The per-transform option structs are
+/// reused verbatim from the standalone entry points.
+struct PipelineOptions {
+  /// Module-pass tail of the pipeline (run after parse/sema/lower/verify).
+  /// Empty means the default pipeline, {"close"}. A list starting with
+  /// "parse" is taken as the complete pipeline, frontend included.
+  std::vector<std::string> Passes;
+
+  /// Run the CFG verifier after every pass (once a module exists) and
+  /// abort naming the offending pass on failure.
+  bool VerifyEach = false;
+
+  /// Capture emitModuleSource() after each run of the named pass.
+  std::string PrintAfter;
+
+  ClosingOptions Closing;
+  PartitionOptions Partition;
+  NaiveCloseOptions Naive;
+
+  /// The pipeline this run will actually execute: Passes with the frontend
+  /// prefix (parse, sema, lower, verify) prepended unless already explicit,
+  /// and the default tail substituted when Passes is empty.
+  std::vector<std::string> expandedPasses() const;
+
+  /// Structural validation of the expanded pipeline (unknown pass names,
+  /// frontend passes out of position, PrintAfter naming an absent pass,
+  /// nonsensical option values). Errors in the result abort compile().
+  std::vector<Diagnostic> validate() const;
+};
+
+/// Wall time of one executed pass.
+struct PassStat {
+  std::string Name;
+  double WallSeconds = 0;
+};
+
+/// All state a pipeline run threads through its passes.
+class CompilationContext {
+public:
+  CompilationContext(std::string SourceText, PipelineOptions Options);
+  ~CompilationContext();
+
+  std::string Source;
+  PipelineOptions Opts;
+  DiagnosticEngine Diags;
+
+  /// Set by the parse pass.
+  std::unique_ptr<Program> AST;
+  /// Set by the lower pass; replaced by wholesale transforms.
+  std::unique_ptr<Module> M;
+  /// Created by the lower pass, bound to *M from then on.
+  std::unique_ptr<AnalysisManager> AM;
+  /// The module as it was before the first wholesale transform — the
+  /// "open" program a caller may want alongside the closed result.
+  std::unique_ptr<Module> RetainedOpen;
+
+  // Result-stat slots, filled by the passes that run.
+  ClosingStats Closing;
+  PartitionStats Partition;
+  NaiveCloseStats Naive;
+  std::optional<InterfaceReport> Interface;
+
+  /// Installs \p NewM as the context's module: rebinds the analysis
+  /// manager first (cached analyses reference the old module), then
+  /// retains the old module in RetainedOpen if nothing is retained yet.
+  void replaceModule(std::unique_ptr<Module> NewM);
+};
+
+/// One unit of work over a CompilationContext.
+class Pass {
+public:
+  virtual ~Pass();
+
+  /// Stable name used in --passes lists, --print-after, stats and
+  /// verify-each diagnostics.
+  virtual const char *name() const = 0;
+
+  /// Runs the pass. Returning false aborts the pipeline; the pass must
+  /// have reported the reason through Ctx.Diags.
+  virtual bool run(CompilationContext &Ctx) = 0;
+};
+
+/// Runs a sequence of passes, recording per-pass wall time, optionally
+/// verifying the module between passes and capturing printed module
+/// source after requested passes.
+class PassPipeline {
+public:
+  void add(std::unique_ptr<Pass> P);
+
+  /// Runs every pass in order against \p Ctx; stops at the first failure.
+  /// VerifyEach / PrintAfter behavior comes from Ctx.Opts.
+  bool run(CompilationContext &Ctx);
+
+  /// Wall time of each pass that ran, in execution order.
+  const std::vector<PassStat> &stats() const { return Stats; }
+
+  /// (pass name, module source) captures from --print-after.
+  const std::vector<std::pair<std::string, std::string>> &printed() const {
+    return Printed;
+  }
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+  std::vector<PassStat> Stats;
+  std::vector<std::pair<std::string, std::string>> Printed;
+};
+
+/// Instantiates the pass registered under \p Name (see knownPassNames());
+/// null for an unknown name.
+std::unique_ptr<Pass> createPass(const std::string &Name);
+
+/// Every name createPass() accepts, in canonical pipeline order:
+/// parse, sema, lower, verify, partition, close, dedup-toss, naive-close,
+/// interface.
+const std::vector<std::string> &knownPassNames();
+
+} // namespace closer
+
+#endif // CLOSER_CLOSING_PASSMANAGER_H

@@ -6,8 +6,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The public facade: MiniC source in, closed program out. This is the
-/// entry point examples and downstream users call:
+/// The public facades of the closing side.
+///
+/// closer::compile() mirrors closer::explore(): source text plus a
+/// PipelineOptions in, a CompileResult out — the final module, every stat
+/// the executed passes produced, per-pass wall times and the analysis
+/// cache counters, ready to serialize as a `closer-close-stats-v1` JSON
+/// artifact:
+///
+/// \code
+///   closer::PipelineOptions Opts;
+///   Opts.Passes = {"partition", "close", "dedup-toss"};
+///   closer::CompileResult R = closer::compile(SourceText, Opts);
+///   if (!R.ok()) { report R.Diags; }
+///   json::writeJsonFile(Path, closer::compileArtifactToJson(R));
+/// \endcode
+///
+/// closer::closeSource() is the historical single-purpose wrapper (parse,
+/// check, lower, analyze, close), now a thin shim over compile():
 ///
 /// \code
 ///   closer::CloseResult R = closer::closeSource(SourceText);
@@ -21,13 +37,56 @@
 #ifndef CLOSER_CLOSING_PIPELINE_H
 #define CLOSER_CLOSING_PIPELINE_H
 
-#include "closing/ClosingTransform.h"
-#include "support/Diagnostics.h"
+#include "closing/PassManager.h"
+#include "support/Json.h"
 
 #include <memory>
 #include <string>
 
 namespace closer {
+
+/// Everything produced by one compile() pipeline run.
+struct CompileResult {
+  DiagnosticEngine Diags;
+  /// The module before the first wholesale transform (the open program),
+  /// when a transform ran; null for pipelines that never replace the
+  /// module. On a mid-pipeline failure this holds the last good module.
+  std::unique_ptr<Module> Open;
+  /// The final module; null when the pipeline aborted.
+  std::unique_ptr<Module> M;
+
+  // Stats from whichever passes ran (zero-initialized otherwise).
+  ClosingStats Closing;
+  PartitionStats Partition;
+  NaiveCloseStats Naive;
+  std::optional<InterfaceReport> Interface;
+
+  /// Wall time of every executed pass, in execution order.
+  std::vector<PassStat> Passes;
+  /// Computed/Reused counters of the cached analyses.
+  AnalysisStats Analyses;
+  /// (pass name, module source) captures from PrintAfter.
+  std::vector<std::pair<std::string, std::string>> Printed;
+
+  /// Options as actually executed (Passes expanded to the full pipeline).
+  PipelineOptions EffectiveOptions;
+  double WallSeconds = 0;
+
+  bool ok() const { return M != nullptr && !Diags.hasErrors(); }
+};
+
+/// Runs the pass pipeline described by \p Options over \p Source. Never
+/// throws; inspect CompileResult::ok() and Diags.
+CompileResult compile(const std::string &Source,
+                      const PipelineOptions &Options = {});
+
+/// Schema tag of the compile-stats artifact.
+inline const char *closeStatsJsonSchema() { return "closer-close-stats-v1"; }
+
+/// Renders \p R as a `closer-close-stats-v1` document: effective options,
+/// per-pass wall times, analysis cache counters and the per-transform
+/// stats blocks.
+json::Value compileArtifactToJson(const CompileResult &R);
 
 /// Everything produced by one closing run.
 struct CloseResult {

@@ -38,10 +38,24 @@ bool TaintResult::exprTainted(const Module &Mod, const AliasAnalysis &Alias,
 //===----------------------------------------------------------------------===//
 
 EnvAnalysis::EnvAnalysis(const Module &Mod, TaintOptions Options) : Mod(Mod) {
-  Alias = std::make_unique<AliasAnalysis>(Mod);
-  Dataflows.reserve(Mod.Procs.size());
-  for (const ProcCfg &Proc : Mod.Procs)
-    Dataflows.push_back(std::make_unique<ProcDataflow>(Mod, Proc, *Alias));
+  OwnedAlias = std::make_unique<AliasAnalysis>(Mod);
+  AliasPtr = OwnedAlias.get();
+  OwnedDataflows.reserve(Mod.Procs.size());
+  DataflowPtrs.reserve(Mod.Procs.size());
+  for (const ProcCfg &Proc : Mod.Procs) {
+    OwnedDataflows.push_back(
+        std::make_unique<ProcDataflow>(Mod, Proc, *AliasPtr));
+    DataflowPtrs.push_back(OwnedDataflows.back().get());
+  }
+  runFixpoint(Options);
+}
+
+EnvAnalysis::EnvAnalysis(const Module &Mod, const AliasAnalysis &Alias,
+                         std::vector<const ProcDataflow *> Dataflows,
+                         TaintOptions Options)
+    : Mod(Mod), AliasPtr(&Alias), DataflowPtrs(std::move(Dataflows)) {
+  assert(DataflowPtrs.size() == Mod.Procs.size() &&
+         "one dataflow per procedure");
   runFixpoint(Options);
 }
 
@@ -100,7 +114,7 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
   for (;;) {
     for (size_t P = 0; P != NumProcs; ++P) {
       const ProcCfg &Proc = Mod.Procs[P];
-      const ProcDataflow &DF = *Dataflows[P];
+      const ProcDataflow &DF = *DataflowPtrs[P];
       ProcTaint &PT = Result.Procs[P];
       size_t N = Proc.Nodes.size();
 
@@ -271,7 +285,7 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
                       AE = std::min(Node.Args.size(),
                                     Callee.TaintedParams.size());
                A != AE; ++A) {
-            if (Result.exprTainted(Mod, *Alias, P, static_cast<NodeId>(I),
+            if (Result.exprTainted(Mod, *AliasPtr, P, static_cast<NodeId>(I),
                                    Node.Args[A].get()))
               Callee.TaintedParams[A] = true;
           }
@@ -279,13 +293,13 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
         }
         case BuiltinKind::Send:
           if (Node.Args.size() == 2 &&
-              Result.exprTainted(Mod, *Alias, P, static_cast<NodeId>(I),
+              Result.exprTainted(Mod, *AliasPtr, P, static_cast<NodeId>(I),
                                  Node.Args[1].get()))
             Result.TaintedChannels.insert(Node.Args[0]->Name);
           break;
         case BuiltinKind::SharedWrite:
           if (Node.Args.size() == 2 &&
-              Result.exprTainted(Mod, *Alias, P, static_cast<NodeId>(I),
+              Result.exprTainted(Mod, *AliasPtr, P, static_cast<NodeId>(I),
                                  Node.Args[1].get()))
             Result.TaintedShared.insert(Node.Args[0]->Name);
           break;

@@ -96,10 +96,19 @@ class EnvAnalysis {
 public:
   explicit EnvAnalysis(const Module &Mod, TaintOptions Options = {});
 
+  /// Borrowing constructor for cached-analysis clients (the pass manager's
+  /// AnalysisManager): runs only the taint fixpoint on top of an alias
+  /// analysis and per-procedure define-use graphs owned by the caller.
+  /// \p Dataflows must be parallel to Mod.Procs, and \p Alias and every
+  /// dataflow must have been computed on \p Mod and outlive this object.
+  EnvAnalysis(const Module &Mod, const AliasAnalysis &Alias,
+              std::vector<const ProcDataflow *> Dataflows,
+              TaintOptions Options = {});
+
   const Module &module() const { return Mod; }
-  const AliasAnalysis &alias() const { return *Alias; }
+  const AliasAnalysis &alias() const { return *AliasPtr; }
   const ProcDataflow &dataflow(size_t ProcIdx) const {
-    return *Dataflows[ProcIdx];
+    return *DataflowPtrs[ProcIdx];
   }
   const TaintResult &taint() const { return Result; }
 
@@ -112,8 +121,12 @@ private:
   void runFixpoint(TaintOptions Options);
 
   const Module &Mod;
-  std::unique_ptr<AliasAnalysis> Alias;
-  std::vector<std::unique_ptr<ProcDataflow>> Dataflows;
+  /// Owned storage (classic constructor); empty in borrowed mode.
+  std::unique_ptr<AliasAnalysis> OwnedAlias;
+  std::vector<std::unique_ptr<ProcDataflow>> OwnedDataflows;
+  /// What the analysis actually consults (owned or borrowed).
+  const AliasAnalysis *AliasPtr = nullptr;
+  std::vector<const ProcDataflow *> DataflowPtrs;
   TaintResult Result;
 };
 

@@ -19,10 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cfg/CfgPrinter.h"
-#include "closing/DomainPartition.h"
-#include "closing/InterfaceReport.h"
 #include "closing/Pipeline.h"
-#include "envgen/NaiveClose.h"
 #include "explorer/Observability.h"
 #include "explorer/Replay.h"
 #include "explorer/Search.h"
@@ -30,6 +27,7 @@
 #include "support/Json.h"
 #include "switchapp/SwitchApp.h"
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -46,8 +44,22 @@ namespace {
 
 void usage() {
   std::fprintf(stderr, R"(usage:
-  closer close <file.mc> [--coarse] [--dedup-toss]
+  closer close <file.mc> [--coarse] [--dedup-toss] [--partition]
+               [--max-reps N] [--passes LIST] [--print-after PASS]
+               [--verify-each] [--stats-json FILE]
       Close the program with its most general environment; print MiniC.
+      Runs the pass pipeline parse, sema, lower, verify, close by
+      default. --partition inserts the section 7 input-domain
+      partitioning as a pre-pass, so partition -> close runs in one
+      process over one module (this replaces the old two-step
+      `closer partition | closer close` source round-trip). --passes
+      takes a comma-separated module-pass list (partition, close,
+      dedup-toss, naive-close, interface, verify) replacing the default
+      tail. --verify-each re-verifies the module after every pass and
+      names the offending pass on failure. --print-after PASS dumps the
+      module source to stderr after each run of PASS. --stats-json FILE
+      writes a closer-close-stats-v1 artifact: per-pass wall times,
+      analysis cache computed/reused counters and all transform stats.
   closer cfg <file.mc> [proc]
       Print the closed control-flow graph listing(s).
   closer dot <file.mc> <proc>
@@ -80,8 +92,9 @@ void usage() {
   closer naive <file.mc> -D <n>
       Close with the naive explicit environment over domain [0,n]; print.
   closer partition <file.mc> [--max-reps N]
-      Simplify range-classified inputs (section 7 analysis), close the
-      rest, print the result.
+      Deprecated alias for `closer close --partition`: simplify
+      range-classified inputs (section 7 analysis), close the rest,
+      print the result.
   closer replay <file.mc> "<choices>" [--open] [--env-domain N]
       Re-execute a recorded choice sequence (the `replay:` line of an
       explore report) and print the resulting trace.
@@ -102,6 +115,8 @@ const FlagSpec &closerFlagSpec() {
       // Boolean flags.
       {"--coarse", FlagArity::Bool},
       {"--dedup-toss", FlagArity::Bool},
+      {"--partition", FlagArity::Bool},
+      {"--verify-each", FlagArity::Bool},
       {"--no-por", FlagArity::Bool},
       {"--hash", FlagArity::Bool},
       {"--stop-on-error", FlagArity::Bool},
@@ -121,6 +136,8 @@ const FlagSpec &closerFlagSpec() {
       {"--variants", FlagArity::Value},
       {"--stats-json", FlagArity::Value},
       {"--time-budget", FlagArity::Value},
+      {"--passes", FlagArity::Value},
+      {"--print-after", FlagArity::Value},
       // `--progress` alone uses the default interval; `--progress=0.5`
       // overrides it. It never consumes the next argument.
       {"--progress", FlagArity::OptionalValue},
@@ -162,19 +179,99 @@ CloseResult closeFileOrDie(const std::string &Path, const Args &A) {
   return R;
 }
 
-int cmdClose(const Args &A) {
+/// Splits a comma-separated --passes list; empty segments are dropped.
+std::vector<std::string> splitPassList(const std::string &List) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : List) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+/// The pipeline knobs every pipeline-backed subcommand shares.
+PipelineOptions pipelineOptionsFromArgs(const Args &A) {
+  PipelineOptions Opts;
+  Opts.Closing.Taint.CoarseMode = A.has("--coarse");
+  Opts.Closing.DedupTosses = A.has("--dedup-toss");
+  Opts.Partition.MaxRepresentatives =
+      static_cast<size_t>(A.intOf("--max-reps", 16));
+  Opts.Naive.DomainBound = A.intOf("-D", 1);
+  Opts.VerifyEach = A.has("--verify-each");
+  Opts.PrintAfter = A.strOf("--print-after", "");
+  Opts.Passes = splitPassList(A.strOf("--passes", ""));
+  return Opts;
+}
+
+/// Runs compile(), dumps --print-after captures to stderr and writes the
+/// --stats-json artifact (also for failed runs — the per-pass timings
+/// show where the pipeline stopped). Exits on failure.
+CompileResult compileFileOrDie(const std::string &Path,
+                               const PipelineOptions &Opts, const Args &A) {
+  CompileResult R = compile(readFile(Path.c_str()), Opts);
+  for (const auto &[Pass, Text] : R.Printed)
+    std::fprintf(stderr, "// --- module after pass '%s' ---\n%s",
+                 Pass.c_str(), Text.c_str());
+  std::string StatsJsonPath = A.strOf("--stats-json", "");
+  if (!StatsJsonPath.empty()) {
+    std::string Err;
+    if (!json::writeJsonFile(StatsJsonPath, compileArtifactToJson(R),
+                             &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      std::exit(1);
+    }
+  }
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s", R.Diags.str().c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+bool pipelineHasPass(const CompileResult &R, const char *Name) {
+  const std::vector<std::string> &P = R.EffectiveOptions.Passes;
+  return std::find(P.begin(), P.end(), Name) != P.end();
+}
+
+int cmdClose(const Args &A, bool ForcePartition = false) {
   if (A.Positional.empty()) {
     usage();
     return 1;
   }
-  CloseResult R = closeFileOrDie(A.Positional[0], A);
-  std::printf("%s", emitModuleSource(*R.Closed).c_str());
-  std::fprintf(stderr,
-               "// closed: %zu -> %zu nodes, %zu toss node(s), "
-               "%zu parameter(s) removed, %zu env call(s) eliminated\n",
-               R.Stats.NodesBefore, R.Stats.NodesAfter,
-               R.Stats.TossNodesInserted, R.Stats.ParamsRemoved,
-               R.Stats.EnvCallsRemoved);
+  PipelineOptions Opts = pipelineOptionsFromArgs(A);
+  if (ForcePartition || A.has("--partition")) {
+    if (Opts.Passes.empty())
+      Opts.Passes = {"partition", "close"};
+    else if (std::find(Opts.Passes.begin(), Opts.Passes.end(),
+                       "partition") == Opts.Passes.end())
+      Opts.Passes.insert(Opts.Passes.begin(), "partition");
+  }
+  if (!argsOk(A))
+    return 1;
+  CompileResult R = compileFileOrDie(A.Positional[0], Opts, A);
+  std::printf("%s", emitModuleSource(*R.M).c_str());
+  if (pipelineHasPass(R, "partition"))
+    std::fprintf(stderr,
+                 "// partitioned %zu input(s) + %zu parameter(s) "
+                 "(%zu representatives), %zu left for elimination\n",
+                 R.Partition.InputsPartitioned, R.Partition.ParamsPartitioned,
+                 R.Partition.RepresentativesTotal,
+                 R.Partition.InputsLeftOpen);
+  if (pipelineHasPass(R, "close"))
+    std::fprintf(stderr,
+                 "// closed: %zu -> %zu nodes, %zu toss node(s), "
+                 "%zu parameter(s) removed, %zu env call(s) eliminated\n",
+                 R.Closing.NodesBefore, R.Closing.NodesAfter,
+                 R.Closing.TossNodesInserted, R.Closing.ParamsRemoved,
+                 R.Closing.EnvCallsRemoved);
   return 0;
 }
 
@@ -339,54 +436,19 @@ int cmdNaive(const Args &A) {
     usage();
     return 1;
   }
-  DiagnosticEngine Diags;
-  auto Mod = compileAndVerify(readFile(A.Positional[0].c_str()), Diags);
-  if (!Mod) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
-  }
-  NaiveCloseOptions Options;
-  Options.DomainBound = A.intOf("-D", 1);
+  PipelineOptions Opts = pipelineOptionsFromArgs(A);
+  if (Opts.Passes.empty())
+    Opts.Passes = {"naive-close"};
   if (!argsOk(A))
     return 1;
-  NaiveCloseStats Stats;
-  Module Naive = naiveCloseModule(*Mod, Options, &Stats);
-  std::printf("%s", emitModuleSource(Naive).c_str());
+  CompileResult R = compileFileOrDie(A.Positional[0], Opts, A);
+  std::printf("%s", emitModuleSource(*R.M).c_str());
   std::fprintf(stderr,
                "// naive closing over [0,%lld]: %zu env input(s), %zu env "
                "output(s), %zu wrapper(s)\n",
-               static_cast<long long>(Options.DomainBound),
-               Stats.EnvInputsRewritten, Stats.EnvOutputsRewritten,
-               Stats.WrappersSynthesized);
-  return 0;
-}
-
-int cmdPartition(const Args &A) {
-  if (A.Positional.empty()) {
-    usage();
-    return 1;
-  }
-  DiagnosticEngine Diags;
-  auto Mod = compileAndVerify(readFile(A.Positional[0].c_str()), Diags);
-  if (!Mod) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
-  }
-  PartitionOptions Options;
-  Options.MaxRepresentatives =
-      static_cast<size_t>(A.intOf("--max-reps", 16));
-  if (!argsOk(A))
-    return 1;
-  PartitionStats PStats;
-  Module Simplified = partitionInputs(*Mod, Options, &PStats);
-  ClosingStats CStats;
-  Module Closed = closeModule(Simplified, {}, &CStats);
-  std::printf("%s", emitModuleSource(Closed).c_str());
-  std::fprintf(stderr,
-               "// partitioned %zu input(s) + %zu parameter(s) "
-               "(%zu representatives), %zu left for elimination\n",
-               PStats.InputsPartitioned, PStats.ParamsPartitioned,
-               PStats.RepresentativesTotal, PStats.InputsLeftOpen);
+               static_cast<long long>(Opts.Naive.DomainBound),
+               R.Naive.EnvInputsRewritten, R.Naive.EnvOutputsRewritten,
+               R.Naive.WrappersSynthesized);
   return 0;
 }
 
@@ -395,15 +457,18 @@ int cmdInterface(const Args &A) {
     usage();
     return 1;
   }
-  DiagnosticEngine Diags;
-  auto Mod = compileAndVerify(readFile(A.Positional[0].c_str()), Diags);
-  if (!Mod) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+  PipelineOptions Opts = pipelineOptionsFromArgs(A);
+  if (Opts.Passes.empty())
+    Opts.Passes = {"interface"};
+  if (!argsOk(A))
+    return 1;
+  CompileResult R = compileFileOrDie(A.Positional[0], Opts, A);
+  if (!R.Interface) {
+    std::fprintf(stderr, "error: pipeline ran no interface pass\n");
     return 1;
   }
-  InterfaceReport Report = buildInterfaceReport(*Mod);
-  std::printf("%s", Report.str().c_str());
-  return Report.isClosed() ? 0 : 3;
+  std::printf("%s", R.Interface->str().c_str());
+  return R.Interface->isClosed() ? 0 : 3;
 }
 
 int cmdReplay(const Args &A) {
@@ -494,8 +559,8 @@ int main(int argc, char **argv) {
     return cmdExplore(A);
   if (Cmd == "naive")
     return cmdNaive(A);
-  if (Cmd == "partition")
-    return cmdPartition(A);
+  if (Cmd == "partition") // Deprecated alias for `close --partition`.
+    return cmdClose(A, /*ForcePartition=*/true);
   if (Cmd == "replay")
     return cmdReplay(A);
   if (Cmd == "interface")
