@@ -12,6 +12,7 @@
 #include "support/Json.h"
 #include "support/Random.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -31,7 +32,9 @@ public:
     json::Value Obj = json::Value::object();
 
     Record &num(const std::string &Key, double V) {
-      Obj.add(Key, V);
+      // A sub-microsecond run can produce inf/nan rates; JSON has no
+      // spelling for either, so clamp at the source.
+      Obj.add(Key, std::isfinite(V) ? V : 0.0);
       return *this;
     }
     Record &count(const std::string &Key, uint64_t V) {
@@ -68,6 +71,14 @@ public:
 private:
   std::vector<Record> Records;
 };
+
+/// Events-per-second that is always finite: zero-elapsed (sub-tick) runs
+/// report 0 instead of inf/nan, so rates are safe to serialize and to
+/// divide by each other.
+inline double safeRate(uint64_t Count, double Seconds) {
+  double R = Seconds > 0 ? static_cast<double>(Count) / Seconds : 0;
+  return std::isfinite(R) ? R : 0;
+}
 
 /// Compiles or aborts (benchmarks must not measure broken inputs).
 inline std::unique_ptr<Module> benchCompile(const std::string &Source) {
@@ -164,6 +175,35 @@ inline std::string philosophersProgram(int N, int Meals = 1) {
   for (int I = 0; I != N; ++I)
     S += "process p" + std::to_string(I) + " = phil" + std::to_string(I) +
          "();\n";
+  return S;
+}
+
+/// The transition-engine workload: two processes interleaving on one
+/// semaphore, with a block of Rounds x 3 arithmetic statements of invisible
+/// computation between visible operations (mixing *, %, + and - over three
+/// accumulators, values bounded so no overflow fires). Philosophers-style
+/// transitions are nearly empty — they benchmark explorer bookkeeping; this
+/// one carries the per-transition evaluation work real handlers do, which
+/// is what separates the bytecode VM from the tree-walking interpreter.
+inline std::string vmComputeProgram(int Iters, int Rounds) {
+  std::string S;
+  S += "sem s(1);\n";
+  S += "proc worker() {\n";
+  S += "  var k;\n  var a;\n  var b;\n  var c;\n";
+  S += "  a = 1; b = 2; c = 3;\n";
+  S += "  for (k = 0; k < " + std::to_string(Iters) + "; k = k + 1) {\n";
+  for (int R = 0; R != Rounds; ++R) {
+    std::string I = std::to_string(R);
+    S += "    a = (a * 3 + " + I + " - b % 17) % 8192;\n";
+    S += "    b = (b + a % 29 + c * 2) % 8192;\n";
+    S += "    c = (a + b - c) % 4096;\n";
+  }
+  S += "    sem_wait(s);\n";
+  S += "    sem_signal(s);\n";
+  S += "  }\n";
+  S += "}\n";
+  S += "process p0 = worker();\n";
+  S += "process p1 = worker();\n";
   return S;
 }
 

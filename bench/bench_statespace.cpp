@@ -56,10 +56,20 @@ SearchStats exploreStats(const Module &Mod) {
   return explore(Mod, exploreOptions()).Stats;
 }
 
+const char *execName(ExecMode M) {
+  switch (M) {
+  case ExecMode::Interp: return "interp";
+  case ExecMode::Vm: return "vm";
+  case ExecMode::Both: return "both";
+  }
+  return "?";
+}
+
 void emitExploreRecord(BenchJson &Json, const std::string &Config,
                        const SearchStats &Stats, const SearchOptions &Opts,
                        double Seconds) {
   Json.record(Config)
+      .str("exec", execName(Opts.Exec))
       .count("checkpoint_interval", Opts.CheckpointInterval)
       .count("jobs", Opts.Jobs)
       .count("state_cache_bits", Opts.StateCacheBits)
@@ -74,12 +84,8 @@ void emitExploreRecord(BenchJson &Json, const std::string &Config,
       .count("cache_saturated", Stats.CacheSaturated)
       .count("completed", Stats.Completed ? 1 : 0)
       .num("seconds", Seconds)
-      .num("states_per_sec",
-           Seconds > 0 ? static_cast<double>(Stats.StatesVisited) / Seconds
-                       : 0)
-      .num("transitions_per_sec",
-           Seconds > 0 ? static_cast<double>(Stats.TreeTransitions) / Seconds
-                       : 0);
+      .num("states_per_sec", safeRate(Stats.StatesVisited, Seconds))
+      .num("transitions_per_sec", safeRate(Stats.TreeTransitions, Seconds));
 }
 
 void BM_NaiveEnvironment(benchmark::State &State) {
@@ -248,6 +254,103 @@ int main(int argc, char **argv) {
     }
   }
   std::printf("\n");
+
+  // Transition-engine series: tree-walking interpreter vs direct-threaded
+  // bytecode VM on identical workloads. The engines are interchangeable by
+  // contract (ALGORITHM.md "Compiled transition execution"): every
+  // tree-shaped stat must match bit-for-bit, asserted below on every bench
+  // run, not just eyeballed. Two workloads bracket the engine's leverage:
+  //
+  //  * vm_deep — deep stateless search over transitions that carry real
+  //    invisible computation (arithmetic blocks between visible ops, the
+  //    shape of actual protocol handlers). Stateless backtracking
+  //    re-executes prefixes, so wall time is dominated by transition
+  //    evaluation and the engine difference shows at full strength.
+  //  * vm_grid — the cached grid workload. Snapshot restore and
+  //    fingerprinting dominate there; the rows document where the VM does
+  //    *not* pay off, so the headline ratio can't be mistaken for a
+  //    universal speedup.
+  const int VmIters = 40, VmRounds = 30, VmGridIters = 256;
+  std::printf("engine series: interpreter vs bytecode VM\nvm_deep: 2 "
+              "workers x %d iterations, %d arithmetic rounds per "
+              "transition, stateless, no POR\nvm_grid: sem grid %d x %d, "
+              "--state-cache=23 --checkpoint-interval 8\n\n",
+              VmIters, VmRounds, VmGridIters, VmGridIters);
+  std::printf("%-18s %12s %14s %12s %16s\n", "variant", "states",
+              "transitions", "seconds", "transitions/sec");
+  auto EngineStatsDiverge = [](const SearchStats &A, const SearchStats &B) {
+    return A.StatesVisited != B.StatesVisited || A.Runs != B.Runs ||
+           A.TreeTransitions != B.TreeTransitions ||
+           A.Transitions != B.Transitions || A.Deadlocks != B.Deadlocks ||
+           A.Terminations != B.Terminations ||
+           A.AssertionViolations != B.AssertionViolations ||
+           A.Divergences != B.Divergences ||
+           A.RuntimeErrors != B.RuntimeErrors ||
+           A.DepthLimitHits != B.DepthLimitHits ||
+           A.Completed != B.Completed;
+  };
+  double DeepRatio = 0;
+  {
+    auto DeepVm = benchCompile(vmComputeProgram(VmIters, VmRounds));
+    SearchOptions Opts;
+    Opts.MaxDepth = 400;
+    Opts.MaxRuns = 4000;
+    Opts.UsePersistentSets = false;
+    Opts.UseSleepSets = false;
+    Opts.CheckpointInterval = 0; // Stateless: replay goes through the engine.
+    SearchStats InterpStats;
+    double InterpSec = 0;
+    for (ExecMode Mode : {ExecMode::Interp, ExecMode::Vm}) {
+      Opts.Exec = Mode;
+      SearchStats S;
+      double Sec = timedExplore(*DeepVm, Opts, S);
+      std::printf("vm_deep %-10s %12llu %14llu %12.3f %16.0f\n",
+                  execName(Mode),
+                  static_cast<unsigned long long>(S.StatesVisited),
+                  static_cast<unsigned long long>(S.Transitions), Sec,
+                  safeRate(S.TreeTransitions, Sec));
+      emitExploreRecord(Json, std::string("vm_deep_") + execName(Mode), S,
+                        Opts, Sec);
+      if (Mode == ExecMode::Interp) {
+        InterpStats = S;
+        InterpSec = Sec;
+      } else if (EngineStatsDiverge(S, InterpStats)) {
+        std::fprintf(stderr, "vm_deep tree stats diverged between the "
+                             "interpreter and the VM!\n");
+        return 1;
+      } else if (Sec > 0) {
+        DeepRatio = InterpSec / Sec;
+      }
+    }
+  }
+  {
+    auto GridVm = benchCompile(semGridProgram(VmGridIters));
+    SearchOptions Opts = GridOpts;
+    Opts.StateCacheBits = 23;
+    SearchStats InterpStats;
+    for (ExecMode Mode : {ExecMode::Interp, ExecMode::Vm}) {
+      Opts.Exec = Mode;
+      SearchStats S;
+      double Sec = timedExplore(*GridVm, Opts, S);
+      std::printf("vm_grid %-10s %12llu %14llu %12.3f %16.0f\n",
+                  execName(Mode),
+                  static_cast<unsigned long long>(S.StatesVisited),
+                  static_cast<unsigned long long>(S.Transitions), Sec,
+                  safeRate(S.TreeTransitions, Sec));
+      emitExploreRecord(Json, std::string("vm_grid_") + execName(Mode), S,
+                        Opts, Sec);
+      if (Mode == ExecMode::Interp)
+        InterpStats = S;
+      else if (EngineStatsDiverge(S, InterpStats) ||
+               S.CacheInserts != InterpStats.CacheInserts) {
+        std::fprintf(stderr, "vm_grid tree stats diverged between the "
+                             "interpreter and the VM!\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("\nvm_deep interpreter/VM wall-time ratio: %.2fx\n\n",
+              DeepRatio);
 
   Json.write("BENCH_statespace.json");
 

@@ -6,8 +6,11 @@
 #   * the concurrent state-cache suite is re-run explicitly under
 #     ThreadSanitizer (the full ctest pass above includes it too; this
 #     step makes a silent discovery failure loud);
+#   * the vm differential suite (bytecode dispatch + checked arithmetic)
+#     is re-run explicitly under Asan+UBSan;
 #   * any BENCH_*.json benchmark outputs lying around the build tree must
-#     parse as JSON arrays of flat records with a "config" field;
+#     parse as JSON arrays of flat records with a "config" field and only
+#     finite numbers (a zero-elapsed run must clamp, not emit inf/nan);
 #   * a smoke `closer explore --time-budget ... --stats-json` run on the
 #     generated switchapp must produce a schema-tagged, well-formed
 #     artifact even when the search is cut short;
@@ -52,6 +55,17 @@ else
   echo "warning: no Asan.PassPipeline tests discovered (sanitizer tree build?)" >&2
 fi
 
+echo "== asan+ubsan vm differential suite =="
+# The bytecode dispatch loop and its checked-arithmetic handlers (div/mod
+# by zero, signed overflow) must run UB-free under instrumentation — this
+# is the enforcement of the "deterministic RuntimeError, never UB"
+# contract. Same silent-disappearance guard as above.
+if (cd "$BUILD" && ctest -N -R 'Asan\.Vm' | grep 'Asan\.Vm' >/dev/null); then
+  (cd "$BUILD" && ctest --output-on-failure -R 'Asan\.Vm')
+else
+  echo "warning: no Asan.Vm tests discovered (sanitizer tree build?)" >&2
+fi
+
 echo "== artifact schema checks =="
 PY=python3
 command -v "$PY" >/dev/null || PY=python
@@ -62,14 +76,23 @@ fi
 
 validate_bench() {
   "$PY" - "$1" <<'EOF'
-import json, sys
+import json, math, sys
 path = sys.argv[1]
+
+def reject_nonfinite(tok):
+    raise ValueError(f"{path}: non-finite number {tok!r} in JSON")
+
 with open(path) as f:
-    data = json.load(f)
+    data = json.load(f, parse_constant=reject_nonfinite)
 assert isinstance(data, list), f"{path}: top level must be an array"
 for rec in data:
     assert isinstance(rec, dict), f"{path}: records must be objects"
     assert "config" in rec, f"{path}: record missing 'config'"
+    for key, val in rec.items():
+        # parse_constant catches Infinity/NaN tokens; an overflowing
+        # literal like 1e999 still parses to inf, so re-check the values.
+        if isinstance(val, float):
+            assert math.isfinite(val), f"{path}: {key} is non-finite ({val})"
 print(f"ok: {path} ({len(data)} records)")
 EOF
 }
@@ -96,13 +119,19 @@ if [ "$rc" != 0 ] && [ "$rc" != 2 ]; then
   exit 1
 fi
 "$PY" - "$TMP/stats.json" <<'EOF'
-import json, sys
+import json, math, sys
 path = sys.argv[1]
+
+def reject_nonfinite(tok):
+    raise ValueError(f"{path}: non-finite number {tok!r} in JSON")
+
 with open(path) as f:
-    art = json.load(f)
+    art = json.load(f, parse_constant=reject_nonfinite)
 assert art["schema"] == "closer-explore-stats-v1", art.get("schema")
 for key in ("stats", "options", "workers", "reports", "resume"):
     assert key in art, f"missing '{key}'"
+for key in ("wall_seconds", "states_per_second", "transitions_per_second"):
+    assert math.isfinite(art[key]), f"{key} is non-finite ({art[key]})"
 assert art["stats"]["states_visited"] > 0, "empty run"
 if art["interrupted"]:
     assert art["resume"], "interrupted run must carry resume prefixes"
@@ -122,8 +151,12 @@ fi
 "$PY" - "$TMP/cached.json" <<'EOF'
 import json, sys
 path = sys.argv[1]
+
+def reject_nonfinite(tok):
+    raise ValueError(f"{path}: non-finite number {tok!r} in JSON")
+
 with open(path) as f:
-    art = json.load(f)
+    art = json.load(f, parse_constant=reject_nonfinite)
 assert art["schema"] == "closer-explore-stats-v1", art.get("schema")
 stats, options = art["stats"], art["options"]
 for key in ("cache_hits", "cache_inserts", "cache_saturated"):
@@ -142,8 +175,12 @@ echo "== close --stats-json smoke (cold close) =="
 "$PY" - "$TMP/close.json" <<'EOF'
 import json, sys
 path = sys.argv[1]
+
+def reject_nonfinite(tok):
+    raise ValueError(f"{path}: non-finite number {tok!r} in JSON")
+
 with open(path) as f:
-    art = json.load(f)
+    art = json.load(f, parse_constant=reject_nonfinite)
 assert art["schema"] == "closer-close-stats-v1", art.get("schema")
 assert art["ok"] is True
 for key in ("options", "passes", "analyses", "closing", "partition", "naive"):
@@ -175,8 +212,12 @@ echo "== close --partition --stats-json smoke (warm cache) =="
 "$PY" - "$TMP/partition.json" <<'EOF'
 import json, sys
 path = sys.argv[1]
+
+def reject_nonfinite(tok):
+    raise ValueError(f"{path}: non-finite number {tok!r} in JSON")
+
 with open(path) as f:
-    art = json.load(f)
+    art = json.load(f, parse_constant=reject_nonfinite)
 assert art["schema"] == "closer-close-stats-v1", art.get("schema")
 assert art["ok"] is True
 names = [p["name"] for p in art["passes"]]

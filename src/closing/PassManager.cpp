@@ -13,6 +13,7 @@
 #include "lang/Ast.h"
 #include "lang/Parser.h"
 #include "lang/Sema.h"
+#include "vm/Bytecode.h"
 
 #include <algorithm>
 #include <chrono>
@@ -45,7 +46,8 @@ std::vector<Diagnostic> PipelineOptions::validate() const {
   for (const std::string &Name : Full)
     if (std::find(Known.begin(), Known.end(), Name) == Known.end())
       Error("unknown pass '" + Name + "' (known: parse, sema, lower, verify, "
-            "partition, close, dedup-toss, naive-close, interface)");
+            "partition, close, dedup-toss, naive-close, interface, "
+            "lower-bytecode)");
   if (!Out.empty())
     return Out;
 
@@ -229,6 +231,22 @@ public:
   }
 };
 
+class LowerBytecodePass : public Pass {
+public:
+  const char *name() const override { return "lower-bytecode"; }
+  bool run(CompilationContext &Ctx) override {
+    if (!requireModule(Ctx, name()))
+      return false;
+    // Compiles the module as it stands at this pipeline position; callers
+    // wanting the closed program executed should schedule this after
+    // close/dedup-toss. The explorer also self-compiles when handed no
+    // bytecode, so this pass is an inspection/caching aid, never a
+    // correctness requirement.
+    Ctx.Bytecode = vm::compileModule(*Ctx.M);
+    return true;
+  }
+};
+
 class InterfacePass : public Pass {
 public:
   const char *name() const override { return "interface"; }
@@ -283,8 +301,8 @@ bool PassPipeline::run(CompilationContext &Ctx) {
 
 const std::vector<std::string> &closer::knownPassNames() {
   static const std::vector<std::string> Names = {
-      "parse",      "sema",  "lower",       "verify",   "partition",
-      "close",      "dedup-toss", "naive-close", "interface"};
+      "parse",      "sema",       "lower",       "verify",    "partition",
+      "close",      "dedup-toss", "naive-close", "interface", "lower-bytecode"};
   return Names;
 }
 
@@ -307,5 +325,7 @@ std::unique_ptr<Pass> closer::createPass(const std::string &Name) {
     return std::make_unique<NaiveClosePass>();
   if (Name == "interface")
     return std::make_unique<InterfacePass>();
+  if (Name == "lower-bytecode")
+    return std::make_unique<LowerBytecodePass>();
   return nullptr;
 }

@@ -56,6 +56,10 @@ namespace closer {
 
 struct Program;
 
+namespace vm {
+struct CompiledModule;
+} // namespace vm
+
 /// Options steering one pipeline run. The per-transform option structs are
 /// reused verbatim from the standalone entry points.
 struct PipelineOptions {
@@ -117,6 +121,11 @@ public:
   PartitionStats Partition;
   NaiveCloseStats Naive;
   std::optional<InterfaceReport> Interface;
+  /// Set by the lower-bytecode pass: the current module compiled to the
+  /// vm/ register bytecode (shareable across any number of VM instances).
+  /// Note the pass snapshots the module at its position in the pipeline;
+  /// run it after the transforms whose output should be executed.
+  std::shared_ptr<const vm::CompiledModule> Bytecode;
 
   /// Installs \p NewM as the context's module: rebinds the analysis
   /// manager first (cached analyses reference the old module), then
@@ -169,7 +178,7 @@ std::unique_ptr<Pass> createPass(const std::string &Name);
 
 /// Every name createPass() accepts, in canonical pipeline order:
 /// parse, sema, lower, verify, partition, close, dedup-toss, naive-close,
-/// interface.
+/// interface, lower-bytecode.
 const std::vector<std::string> &knownPassNames();
 
 } // namespace closer

@@ -9,6 +9,7 @@
 
 #include "cfg/CfgBuilder.h"
 #include "cfg/CfgVerifier.h"
+#include "vm/Bytecode.h"
 
 #include <chrono>
 
@@ -66,6 +67,7 @@ CompileResult closer::compile(const std::string &Source,
   R.Partition = Ctx.Partition;
   R.Naive = Ctx.Naive;
   R.Interface = std::move(Ctx.Interface);
+  R.Bytecode = std::move(Ctx.Bytecode);
   R.Open = std::move(Ctx.RetainedOpen);
   if (Ok)
     R.M = std::move(Ctx.M);
@@ -171,6 +173,14 @@ json::Value closer::compileArtifactToJson(const CompileResult &R) {
 
   if (R.Interface)
     Root.add("interface_closed", R.Interface->isClosed());
+
+  if (R.Bytecode) {
+    json::Value Bc = json::Value::object();
+    Bc.add("instructions", static_cast<uint64_t>(R.Bytecode->Code.size()));
+    Bc.add("max_regs", static_cast<uint64_t>(R.Bytecode->MaxRegs));
+    Bc.add("procedures", static_cast<uint64_t>(R.Bytecode->Procs.size()));
+    Root.add("bytecode", std::move(Bc));
+  }
 
   return Root;
 }

@@ -60,6 +60,10 @@ struct CompileResult {
   PartitionStats Partition;
   NaiveCloseStats Naive;
   std::optional<InterfaceReport> Interface;
+  /// Bytecode compiled by the optional lower-bytecode pass (null when the
+  /// pass did not run). Feed into SearchOptions::VmCode to explore with
+  /// the VM without recompiling.
+  std::shared_ptr<const vm::CompiledModule> Bytecode;
 
   /// Wall time of every executed pass, in execution order.
   std::vector<PassStat> Passes;

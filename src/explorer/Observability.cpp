@@ -9,7 +9,21 @@
 
 #include "explorer/Replay.h"
 
+#include <cmath>
+
 using namespace closer;
+
+namespace {
+
+/// A rate that is always a finite JSON number: zero or denormal-tiny
+/// elapsed times (sub-microsecond runs) must not leak inf/nan into the
+/// artifact — scripts/check.sh rejects non-finite numbers.
+double finiteRate(uint64_t Count, double Seconds) {
+  double R = Seconds > 0 ? static_cast<double>(Count) / Seconds : 0.0;
+  return std::isfinite(R) ? R : 0.0;
+}
+
+} // namespace
 
 json::Value closer::statsToJson(const SearchStats &S) {
   json::Value O = json::Value::object();
@@ -64,14 +78,9 @@ json::Value closer::runArtifactToJson(const SearchResult &R) {
   Root.add("interrupted", S.Interrupted);
   Root.add("completed", S.Completed);
   Root.add("wall_seconds", S.WallSeconds);
-  Root.add("states_per_second",
-           S.WallSeconds > 0
-               ? static_cast<double>(S.StatesVisited) / S.WallSeconds
-               : 0.0);
+  Root.add("states_per_second", finiteRate(S.StatesVisited, S.WallSeconds));
   Root.add("transitions_per_second",
-           S.WallSeconds > 0
-               ? static_cast<double>(S.Transitions) / S.WallSeconds
-               : 0.0);
+           finiteRate(S.Transitions, S.WallSeconds));
   Root.add("options", optionsToJson(R.Options));
   Root.add("stats", statsToJson(S));
 

@@ -7,6 +7,8 @@
 
 #include "explorer/ParallelSearch.h"
 
+#include "vm/Bytecode.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -667,6 +669,10 @@ SearchResult closer::explore(const Module &Mod, const SearchOptions &Options) {
     Opts.StateCacheBits = Opts.effectiveStateCacheBits();
     Opts.UseStateHashing = true;
   }
+  // Compile the bytecode once; the seeder and every worker share the
+  // immutable module while owning their own register files.
+  if (Opts.Exec != ExecMode::Interp && !Opts.VmCode)
+    Opts.VmCode = vm::compileModule(Mod);
 
   ParallelExplorer Ex(Mod, Opts);
   SearchResult R;

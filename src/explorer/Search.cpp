@@ -7,6 +7,9 @@
 
 #include "explorer/Search.h"
 
+#include "vm/Differential.h"
+#include "vm/Vm.h"
+
 #include <algorithm>
 #include <cassert>
 #include <functional>
@@ -177,7 +180,20 @@ private:
 
 Explorer::Explorer(const Module &Mod, SearchOptions Options)
     : Mod(Mod), Options(Options), Footprints(Mod),
-      Sys(Mod, Options.Runtime) {}
+      Sys(Mod, Options.Runtime) {
+  if (this->Options.Exec != ExecMode::Interp) {
+    // explore() normally pre-compiles once for all workers; a directly
+    // constructed Explorer compiles its own copy so correctness never
+    // depends on the caller (or the optional lower-bytecode pass).
+    if (!this->Options.VmCode)
+      this->Options.VmCode = vm::compileModule(Mod);
+    if (this->Options.Exec == ExecMode::Vm)
+      Engine = std::make_unique<vm::Vm>(this->Options.VmCode);
+    else
+      Engine = std::make_unique<vm::DifferentialEngine>(this->Options.VmCode);
+    Sys.setEngine(Engine.get());
+  }
+}
 
 void Explorer::report(ErrorReport R) {
   if (Reports.size() < Options.MaxReports) {

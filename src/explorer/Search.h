@@ -52,6 +52,19 @@ namespace closer {
 
 class ParallelExplorer;
 
+namespace vm {
+struct CompiledModule;
+} // namespace vm
+
+/// Which transition-execution engine the search drives the System with.
+/// All modes produce bit-identical tree-shaped statistics and reports; only
+/// throughput differs (and Both pays for two executions per transition).
+enum class ExecMode {
+  Interp, ///< The tree-walking interpreter (the default).
+  Vm,     ///< The direct-threaded bytecode VM.
+  Both,   ///< Differential oracle: run both, abort on any divergence.
+};
+
 struct SearchOptions {
   /// Maximum transitions along one path (the paper's "complete coverage of
   /// the state space up to some depth").
@@ -109,6 +122,14 @@ struct SearchOptions {
   /// External cooperative-stop flag (e.g. set by a SIGINT handler); polled
   /// by the monitor thread. Never written by the search.
   const std::atomic<bool> *ExternalStop = nullptr;
+  /// Transition-execution engine (interpreter, bytecode VM, or the
+  /// interpreter-vs-VM differential oracle).
+  ExecMode Exec = ExecMode::Interp;
+  /// Pre-compiled bytecode for Vm/Both modes. explore() compiles the module
+  /// once and shares the immutable result across the seeder and all
+  /// workers; left null with Exec == Interp. An Explorer constructed
+  /// directly with a null VmCode compiles its own copy.
+  std::shared_ptr<const vm::CompiledModule> VmCode;
   SystemOptions Runtime;
 
   /// The fingerprint-cache size in effect: StateCacheBits if set, the
@@ -377,6 +398,10 @@ private:
   SearchOptions Options;
   FootprintAnalysis Footprints;
   System Sys;
+  /// The engine installed into Sys for Vm/Both modes (null for Interp).
+  /// Owned here: each explorer needs its own register file even when the
+  /// compiled code is shared.
+  std::unique_ptr<ExecEngine> Engine;
   std::vector<Decision> Path;
   size_t Cursor = 0;
   /// Checkpoints along the current path, shallowest first (strictly

@@ -1,0 +1,111 @@
+//===- Arith.h - Checked MiniC integer arithmetic --------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checked 64-bit arithmetic shared by the tree-walking evaluator and the
+/// bytecode VM. MiniC integers are 64-bit two's complement, and any
+/// operation whose mathematical result does not fit is a deterministic
+/// IntegerOverflow runtime error — never C++ undefined behavior. Keeping
+/// the checks in one header is what lets the differential oracle demand
+/// bit-identical error reports from both engines.
+///
+/// Each helper returns true on success and writes the result to \p Out;
+/// it returns false (leaving \p Out untouched) when the operation would
+/// overflow. Division and modulo assume the caller already rejected a zero
+/// divisor; the only remaining trap is INT64_MIN / -1 (and INT64_MIN % -1,
+/// which C++ also leaves undefined because it is computed via the same
+/// division).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_RUNTIME_ARITH_H
+#define CLOSER_RUNTIME_ARITH_H
+
+#include <cstdint>
+
+namespace closer {
+
+inline bool checkedAdd(int64_t A, int64_t B, int64_t &Out) {
+#if defined(__GNUC__) || defined(__clang__)
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return false;
+  Out = R;
+  return true;
+#else
+  if ((B > 0 && A > INT64_MAX - B) || (B < 0 && A < INT64_MIN - B))
+    return false;
+  Out = A + B;
+  return true;
+#endif
+}
+
+inline bool checkedSub(int64_t A, int64_t B, int64_t &Out) {
+#if defined(__GNUC__) || defined(__clang__)
+  int64_t R;
+  if (__builtin_sub_overflow(A, B, &R))
+    return false;
+  Out = R;
+  return true;
+#else
+  if ((B < 0 && A > INT64_MAX + B) || (B > 0 && A < INT64_MIN + B))
+    return false;
+  Out = A - B;
+  return true;
+#endif
+}
+
+inline bool checkedMul(int64_t A, int64_t B, int64_t &Out) {
+#if defined(__GNUC__) || defined(__clang__)
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    return false;
+  Out = R;
+  return true;
+#else
+  if (A != 0 && B != 0) {
+    if (A == -1 && B == INT64_MIN)
+      return false;
+    if (B == -1 && A == INT64_MIN)
+      return false;
+    int64_t R = A * B; // Unsafe pre-check form for non-GNU compilers.
+    if (R / B != A)
+      return false;
+    Out = R;
+    return true;
+  }
+  Out = 0;
+  return true;
+#endif
+}
+
+inline bool checkedNeg(int64_t A, int64_t &Out) {
+  if (A == INT64_MIN)
+    return false;
+  Out = -A;
+  return true;
+}
+
+/// \pre B != 0.
+inline bool checkedDiv(int64_t A, int64_t B, int64_t &Out) {
+  if (A == INT64_MIN && B == -1)
+    return false;
+  Out = A / B;
+  return true;
+}
+
+/// \pre B != 0.
+inline bool checkedMod(int64_t A, int64_t B, int64_t &Out) {
+  if (A == INT64_MIN && B == -1)
+    return false;
+  Out = A % B;
+  return true;
+}
+
+} // namespace closer
+
+#endif // CLOSER_RUNTIME_ARITH_H

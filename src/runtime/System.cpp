@@ -7,6 +7,8 @@
 
 #include "runtime/System.h"
 
+#include "runtime/Arith.h"
+
 #include <cassert>
 
 using namespace closer;
@@ -24,9 +26,8 @@ std::string RunError::str() const {
 // Construction and reset
 //===----------------------------------------------------------------------===//
 
-System::System(const Module &Mod, SystemOptions Options)
-    : Mod(Mod), Options(Options) {
-  Layouts.resize(Mod.Procs.size());
+std::vector<ProcLayout> closer::buildProcLayouts(const Module &Mod) {
+  std::vector<ProcLayout> Layouts(Mod.Procs.size());
   for (size_t P = 0, E = Mod.Procs.size(); P != E; ++P) {
     const ProcCfg &Proc = Mod.Procs[P];
     ProcLayout &L = Layouts[P];
@@ -42,6 +43,12 @@ System::System(const Module &Mod, SystemOptions Options)
       L.ArraySizes.push_back(Local.ArraySize);
     }
   }
+  return Layouts;
+}
+
+System::System(const Module &Mod, SystemOptions Options)
+    : Mod(Mod), Options(Options) {
+  Layouts = buildProcLayouts(Mod);
   buildResolutionCaches();
   ZeroChoiceProvider Zero;
   reset(Zero);
@@ -233,7 +240,8 @@ ExecResult System::reset(ChoiceProvider &Provider) {
   // Run every process's invisible prefix to its first visible operation,
   // reaching the initial global state s0.
   for (int PIdx = 0, E = processCount(); PIdx != E; ++PIdx) {
-    ExecResult R = runInvisible(PIdx, Provider);
+    ExecResult R = Engine ? Engine->runPrefix(*this, PIdx, Provider)
+                          : runInvisible(PIdx, Provider);
     Result.Violations.insert(Result.Violations.end(), R.Violations.begin(),
                              R.Violations.end());
     if (!R.ok()) {
@@ -541,8 +549,15 @@ Value System::eval(ProcessRT &P, const Expr *E) {
       fail(RunErrorKind::BadPointer, E->Loc, "arithmetic on a pointer");
       return Value::makeInt(0);
     }
-    if (E->UOp == UnaryOp::Neg)
-      return Value::makeInt(-V.asInt());
+    if (E->UOp == UnaryOp::Neg) {
+      int64_t Out;
+      if (!checkedNeg(V.asInt(), Out)) {
+        fail(RunErrorKind::IntegerOverflow, E->Loc,
+             "signed integer overflow in unary '-'");
+        return Value::makeInt(0);
+      }
+      return Value::makeInt(Out);
+    }
     return Value::makeInt(V.asInt() == 0 ? 1 : 0);
   }
   case ExprKind::Binary: {
@@ -563,26 +578,51 @@ Value System::eval(ProcessRT &P, const Expr *E) {
     }
     if (L.isUnknown() || R.isUnknown())
       return Value::makeUnknown();
-    int64_t A = L.asInt(), B = R.asInt();
+    int64_t A = L.asInt(), B = R.asInt(), Out;
     switch (E->BOp) {
     case BinaryOp::Add:
-      return Value::makeInt(A + B);
+      if (!checkedAdd(A, B, Out)) {
+        fail(RunErrorKind::IntegerOverflow, E->Loc,
+             "signed integer overflow in '+'");
+        return Value::makeInt(0);
+      }
+      return Value::makeInt(Out);
     case BinaryOp::Sub:
-      return Value::makeInt(A - B);
+      if (!checkedSub(A, B, Out)) {
+        fail(RunErrorKind::IntegerOverflow, E->Loc,
+             "signed integer overflow in '-'");
+        return Value::makeInt(0);
+      }
+      return Value::makeInt(Out);
     case BinaryOp::Mul:
-      return Value::makeInt(A * B);
+      if (!checkedMul(A, B, Out)) {
+        fail(RunErrorKind::IntegerOverflow, E->Loc,
+             "signed integer overflow in '*'");
+        return Value::makeInt(0);
+      }
+      return Value::makeInt(Out);
     case BinaryOp::Div:
       if (B == 0) {
         fail(RunErrorKind::DivisionByZero, E->Loc, "division by zero");
         return Value::makeInt(0);
       }
-      return Value::makeInt(A / B);
+      if (!checkedDiv(A, B, Out)) {
+        fail(RunErrorKind::IntegerOverflow, E->Loc,
+             "signed integer overflow in '/'");
+        return Value::makeInt(0);
+      }
+      return Value::makeInt(Out);
     case BinaryOp::Mod:
       if (B == 0) {
         fail(RunErrorKind::DivisionByZero, E->Loc, "modulo by zero");
         return Value::makeInt(0);
       }
-      return Value::makeInt(A % B);
+      if (!checkedMod(A, B, Out)) {
+        fail(RunErrorKind::IntegerOverflow, E->Loc,
+             "signed integer overflow in '%'");
+        return Value::makeInt(0);
+      }
+      return Value::makeInt(Out);
     case BinaryOp::Lt:
       return Value::makeInt(A < B);
     case BinaryOp::Le:
@@ -1005,6 +1045,16 @@ void System::execVisible(int PIdx, ChoiceProvider &, ExecResult &Result) {
 }
 
 ExecResult System::executeTransition(int PIdx, ChoiceProvider &Provider) {
+  if (Engine)
+    return Engine->executeTransition(*this, PIdx, Provider);
+  return interpTransition(PIdx, Provider);
+}
+
+ExecResult System::interpPrefix(int PIdx, ChoiceProvider &Provider) {
+  return runInvisible(PIdx, Provider);
+}
+
+ExecResult System::interpTransition(int PIdx, ChoiceProvider &Provider) {
   assert(processEnabled(PIdx) && "executing a disabled transition");
   ExecResult Result;
   CurrentProcess = PIdx;

@@ -77,6 +77,9 @@ struct SystemOptions {
 enum class RunErrorKind {
   None,
   DivisionByZero,
+  IntegerOverflow,  ///< Signed 64-bit overflow in +, -, *, unary -, or
+                    ///< INT64_MIN / -1 (and % -1): a deterministic error,
+                    ///< never C++ UB. Shared by interpreter and VM.
   BadPointer,       ///< Dereference of a non-pointer or dangling address.
   IndexOutOfBounds,
   UnknownInControl, ///< Branch/index depends on an unknown value: the
@@ -116,7 +119,49 @@ enum class GlobalStateKind {
   Deadlock,    ///< No transition enabled but some process still waits.
 };
 
+/// Name -> slot index resolution, precomputed per procedure: parameters
+/// first (in order), then locals (in order). Shared between the System's
+/// interpreter and the bytecode compiler so slot indices can never diverge
+/// between engines.
+struct ProcLayout {
+  std::unordered_map<std::string, uint32_t> SlotOf;
+  std::vector<int64_t> ArraySizes; ///< Per slot; -1 scalar.
+  int RetValSlot = -1;
+};
+
+/// Builds the per-procedure layouts for \p Mod (parallel to Mod.Procs).
+/// The single source of truth for slot numbering.
+std::vector<ProcLayout> buildProcLayouts(const Module &Mod);
+
+class System;
 class SystemSnapshot;
+
+namespace vm {
+class Vm;
+class DifferentialEngine;
+} // namespace vm
+
+/// A pluggable transition-execution engine. The System owns the state
+/// (stores, frames, communication objects, trace); an engine is only an
+/// alternative way of running the code against that state. The default
+/// (no engine installed) is the built-in tree-walking interpreter; the
+/// bytecode VM and the interpreter-vs-VM differential oracle implement
+/// this interface. Engines must be observationally identical to the
+/// interpreter: same state deltas, same choice-provider call sequence,
+/// same errors (kind, message, location), same trace events.
+class ExecEngine {
+public:
+  virtual ~ExecEngine() = default;
+
+  /// Executes one process transition of \p P (must be enabled): the
+  /// visible operation plus the invisible run to the next visible op.
+  virtual ExecResult executeTransition(System &S, int P,
+                                       ChoiceProvider &Provider) = 0;
+
+  /// Runs process \p P's invisible prefix to its first visible operation
+  /// (the per-process half of reset()).
+  virtual ExecResult runPrefix(System &S, int P, ChoiceProvider &Provider) = 0;
+};
 
 class System {
 public:
@@ -142,8 +187,19 @@ public:
 
   /// Executes one process transition of \p P (which must be enabled):
   /// the visible operation plus the invisible run to the next visible
-  /// operation.
+  /// operation. Dispatches to the installed engine, or the built-in
+  /// interpreter when none is set.
   ExecResult executeTransition(int P, ChoiceProvider &Provider);
+
+  /// Installs a pluggable execution engine (nullptr restores the built-in
+  /// tree-walking interpreter). Not owned; must outlive this System.
+  void setEngine(ExecEngine *E) { Engine = E; }
+  ExecEngine *engine() const { return Engine; }
+
+  /// Always runs the built-in interpreter, regardless of the installed
+  /// engine. The differential oracle uses these to compare engines.
+  ExecResult interpTransition(int P, ChoiceProvider &Provider);
+  ExecResult interpPrefix(int P, ChoiceProvider &Provider);
 
   /// Visible events executed since the last reset.
   const Trace &trace() const { return EventTrace; }
@@ -209,13 +265,6 @@ private:
     bool IsArray = false;
     Value Scalar;
     std::vector<Value> Elems;
-  };
-
-  /// Name -> slot index resolution, precomputed per procedure.
-  struct ProcLayout {
-    std::unordered_map<std::string, uint32_t> SlotOf;
-    std::vector<int64_t> ArraySizes; ///< Per slot; -1 scalar.
-    int RetValSlot = -1;
   };
 
   struct Frame {
@@ -295,8 +344,15 @@ private:
   size_t NumTransitions = 0;
   RunError PendingError;
   int CurrentProcess = -1; ///< During execution, for error attribution.
+  ExecEngine *Engine = nullptr; ///< Not owned; null = interpreter.
 
   friend class SystemSnapshot;
+  // The bytecode VM executes compiled transitions against this state
+  // directly (same stores, same error protocol) instead of duplicating it.
+  friend class vm::Vm;
+  // The oracle re-runs transitions on both engines from a snapshot; it must
+  // preserve PendingError across the restore between the two legs.
+  friend class vm::DifferentialEngine;
 };
 
 /// A value-type copy of a System's full dynamic state, produced by

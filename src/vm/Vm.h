@@ -1,0 +1,56 @@
+//===- Vm.h - Direct-threaded bytecode executor ----------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode execution engine. A Vm holds a shared immutable
+/// CompiledModule plus its own scratch register file, so one compiled
+/// module serves any number of explorers (one Vm per worker thread) while
+/// all state lives in the System being driven — snapshots, restore, state
+/// caching and fingerprints work unchanged.
+///
+/// Dispatch is direct-threaded (computed goto) under GNU-compatible
+/// compilers, with a portable switch fallback (compile with
+/// -DCLOSER_VM_NO_THREADING to force it, e.g. to compare dispatch costs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_VM_VM_H
+#define CLOSER_VM_VM_H
+
+#include "vm/Bytecode.h"
+
+#include <memory>
+#include <vector>
+
+namespace closer {
+namespace vm {
+
+class Vm : public ExecEngine {
+public:
+  explicit Vm(std::shared_ptr<const CompiledModule> Code);
+
+  ExecResult executeTransition(System &S, int P,
+                               ChoiceProvider &Provider) override;
+  ExecResult runPrefix(System &S, int P, ChoiceProvider &Provider) override;
+
+  const CompiledModule &code() const { return *Code; }
+
+private:
+  /// The dispatch loop: executes from code offset \p Entry until the
+  /// process parks at a visible operation, halts, or raises an error.
+  void run(System &S, int PIdx, ChoiceProvider &Provider, ExecResult &Result,
+           int32_t Entry);
+
+  std::shared_ptr<const CompiledModule> Code;
+  std::vector<Value> Regs; ///< Scratch register file (MaxRegs wide).
+  Value RetVal;            ///< Return-value register (Ret -> LoadRet).
+};
+
+} // namespace vm
+} // namespace closer
+
+#endif // CLOSER_VM_VM_H

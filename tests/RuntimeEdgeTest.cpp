@@ -6,6 +6,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/System.h"
+#include "vm/Bytecode.h"
+#include "vm/Vm.h"
 
 #include "TestUtil.h"
 
@@ -319,6 +321,215 @@ process m = main();
   ExecResult R = runAll(Sys);
   EXPECT_FALSE(R.Error) << R.Error.str();
   EXPECT_EQ(lastPayload(Sys), 107);
+}
+
+/// Runs \p Source to its first runtime error under the interpreter, then
+/// again under the bytecode VM, and requires the identical deterministic
+/// error from both: same kind, same message, same source location. This is
+/// the contract that makes --exec=both a usable oracle — eval-semantics
+/// edge cases (division by zero, signed overflow) are errors, never UB,
+/// and never engine-dependent.
+void expectErrorBothEngines(const std::string &Source, RunErrorKind Kind,
+                            const std::string &Message) {
+  auto Mod = mustCompile(Source);
+
+  System Interp(*Mod);
+  ExecResult RI = runAll(Interp);
+  ASSERT_TRUE(RI.Error) << "interpreter ran clean, expected: " << Message;
+  EXPECT_EQ(RI.Error.Kind, Kind);
+  EXPECT_EQ(RI.Error.Message, Message);
+
+  auto Code = vm::compileModule(*Mod);
+  ASSERT_TRUE(Code);
+  vm::Vm Engine(Code);
+  System VmSys(*Mod);
+  VmSys.setEngine(&Engine);
+  ExecResult RV = runAll(VmSys);
+  ASSERT_TRUE(RV.Error) << "VM ran clean, expected: " << Message;
+  EXPECT_EQ(RV.Error.Kind, RI.Error.Kind);
+  EXPECT_EQ(RV.Error.Message, RI.Error.Message);
+  EXPECT_EQ(RV.Error.Loc.Line, RI.Error.Loc.Line);
+  EXPECT_EQ(RV.Error.Loc.Column, RI.Error.Loc.Column);
+}
+
+TEST(RuntimeEdgeTest, DivisionByZeroLiteralDivisor) {
+  // A literal divisor compiles to the VM's fused DivImm form; the zero
+  // check must fire there exactly as in the two-register form.
+  expectErrorBothEngines(R"(
+proc main() {
+  var x = 7;
+  var v;
+  v = x / 0;
+}
+
+process m = main();
+)",
+                         RunErrorKind::DivisionByZero, "division by zero");
+}
+
+TEST(RuntimeEdgeTest, DivisionByZeroComputedDivisor) {
+  expectErrorBothEngines(R"(
+proc main() {
+  var x = 7;
+  var y = 3;
+  var v;
+  v = x / (y - 3);
+}
+
+process m = main();
+)",
+                         RunErrorKind::DivisionByZero, "division by zero");
+}
+
+TEST(RuntimeEdgeTest, ModuloByZeroLiteralDivisor) {
+  expectErrorBothEngines(R"(
+proc main() {
+  var x = 7;
+  var v;
+  v = x % 0;
+}
+
+process m = main();
+)",
+                         RunErrorKind::DivisionByZero, "modulo by zero");
+}
+
+TEST(RuntimeEdgeTest, ModuloByZeroComputedDivisor) {
+  expectErrorBothEngines(R"(
+proc main() {
+  var x = 7;
+  var y = 3;
+  var v;
+  v = x % (y - 3);
+}
+
+process m = main();
+)",
+                         RunErrorKind::DivisionByZero, "modulo by zero");
+}
+
+TEST(RuntimeEdgeTest, AdditionOverflowIsADeterministicError) {
+  expectErrorBothEngines(R"(
+proc main() {
+  var big = 9223372036854775807;
+  var v;
+  v = big + 1;
+}
+
+process m = main();
+)",
+                         RunErrorKind::IntegerOverflow,
+                         "signed integer overflow in '+'");
+}
+
+TEST(RuntimeEdgeTest, SubtractionOverflowIsADeterministicError) {
+  // INT64_MIN spelled as (-INT64_MAX - 1): the literal itself fits.
+  expectErrorBothEngines(R"(
+proc main() {
+  var small = -9223372036854775807 - 1;
+  var v;
+  v = small - 1;
+}
+
+process m = main();
+)",
+                         RunErrorKind::IntegerOverflow,
+                         "signed integer overflow in '-'");
+}
+
+TEST(RuntimeEdgeTest, MultiplicationOverflowIsADeterministicError) {
+  expectErrorBothEngines(R"(
+proc main() {
+  var a = 3037000500;
+  var v;
+  v = a * a;
+}
+
+process m = main();
+)",
+                         RunErrorKind::IntegerOverflow,
+                         "signed integer overflow in '*'");
+}
+
+TEST(RuntimeEdgeTest, DivideMinByMinusOneOverflows) {
+  expectErrorBothEngines(R"(
+proc main() {
+  var small = -9223372036854775807 - 1;
+  var v;
+  v = small / -1;
+}
+
+process m = main();
+)",
+                         RunErrorKind::IntegerOverflow,
+                         "signed integer overflow in '/'");
+}
+
+TEST(RuntimeEdgeTest, ModuloMinByMinusOneOverflows) {
+  expectErrorBothEngines(R"(
+proc main() {
+  var small = -9223372036854775807 - 1;
+  var v;
+  v = small % -1;
+}
+
+process m = main();
+)",
+                         RunErrorKind::IntegerOverflow,
+                         "signed integer overflow in '%'");
+}
+
+TEST(RuntimeEdgeTest, NegatingMinOverflows) {
+  expectErrorBothEngines(R"(
+proc main() {
+  var small = -9223372036854775807 - 1;
+  var v;
+  v = -small;
+}
+
+process m = main();
+)",
+                         RunErrorKind::IntegerOverflow,
+                         "signed integer overflow in unary '-'");
+}
+
+TEST(RuntimeEdgeTest, NearOverflowBoundariesStayClean) {
+  // The extremes themselves are representable: INT64_MAX + 0, INT64_MIN
+  // preserved through division by 1, and INT64_MIN % -1's cousin
+  // INT64_MIN % 1 == 0 all evaluate without error — the overflow checks
+  // must not over-trigger at the boundary.
+  auto Mod = mustCompile(R"(
+chan c[8];
+
+proc main() {
+  var big = 9223372036854775807;
+  var small = -9223372036854775807 - 1;
+  send(c, big + 0);
+  send(c, small / 1);
+  send(c, small % 1);
+  send(c, big - 9223372036854775807);
+}
+
+process m = main();
+)");
+  for (bool UseVm : {false, true}) {
+    System Sys(*Mod);
+    std::shared_ptr<const vm::CompiledModule> Code;
+    std::unique_ptr<vm::Vm> Engine;
+    if (UseVm) {
+      Code = vm::compileModule(*Mod);
+      Engine = std::make_unique<vm::Vm>(Code);
+      Sys.setEngine(Engine.get());
+    }
+    ExecResult R = runAll(Sys);
+    EXPECT_FALSE(R.Error) << R.Error.str();
+    const Trace &T = Sys.trace();
+    ASSERT_EQ(T.size(), 4u);
+    EXPECT_EQ(T[0].Payload.asInt(), INT64_MAX);
+    EXPECT_EQ(T[1].Payload.asInt(), INT64_MIN);
+    EXPECT_EQ(T[2].Payload.asInt(), 0);
+    EXPECT_EQ(T[3].Payload.asInt(), 0);
+  }
 }
 
 TEST(RuntimeEdgeTest, DepthCountsTransitionsNotStatements) {

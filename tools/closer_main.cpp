@@ -67,9 +67,13 @@ void usage() {
   closer explore <file.mc> [--depth N] [--max-runs N] [--no-por]
                  [--state-cache[=BITS]] [--stop-on-error] [--env-domain N]
                  [--open] [--jobs N] [--checkpoint-interval K]
-                 [--stats-json FILE] [--progress[=SECS]]
-                 [--time-budget SECS]
+                 [--exec interp|vm|both] [--stats-json FILE]
+                 [--progress[=SECS]] [--time-budget SECS]
       Close (unless --open) and systematically explore the state space.
+      --exec selects the transition engine: the tree-walking interpreter
+      (default), the direct-threaded bytecode VM (same results, faster),
+      or `both` — a differential oracle that runs every transition on
+      both engines and aborts on any observable divergence.
       --jobs N > 1 explores disjoint subtrees on N worker threads.
       --checkpoint-interval K snapshots the system every K states so
       backtracking restores instead of re-executing prefixes (default 8;
@@ -136,6 +140,7 @@ const FlagSpec &closerFlagSpec() {
       {"--variants", FlagArity::Value},
       {"--stats-json", FlagArity::Value},
       {"--time-budget", FlagArity::Value},
+      {"--exec", FlagArity::Value},
       {"--passes", FlagArity::Value},
       {"--print-after", FlagArity::Value},
       // `--progress` alone uses the default interval; `--progress=0.5`
@@ -365,6 +370,20 @@ int cmdExplore(const Args &A) {
   }
   long Jobs = A.intOf("--jobs", 1);
   Opts.Jobs = Jobs > 0 ? static_cast<size_t>(Jobs) : 1;
+  std::string Exec = A.strOf("--exec", "interp");
+  if (Exec == "interp") {
+    Opts.Exec = ExecMode::Interp;
+  } else if (Exec == "vm") {
+    Opts.Exec = ExecMode::Vm;
+  } else if (Exec == "both") {
+    Opts.Exec = ExecMode::Both;
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown --exec mode '%s' (expected interp, vm or "
+                 "both)\n",
+                 Exec.c_str());
+    return 1;
+  }
   // The library defaults to the paper's pure stateless search; the CLI
   // defaults to checkpointing on, since the outcome is identical and the
   // restore path is strictly faster.
