@@ -113,6 +113,17 @@ inline std::string filterProgram(int K) {
   return S;
 }
 
+/// Size unit of the E4 linearity metric: CFG nodes plus define-use arcs —
+/// |G_j| + |G~_j|, the two graphs the paper's "single traversal" (§4)
+/// walks, so linear closing means flat ns per unit. Nodes alone understate
+/// the work on define-use-dense programs (arc count grows faster than node
+/// count when many definitions stay live), which made earlier ns_per_node
+/// readings look superlinear even for a linear transform. This is the
+/// denominator the scripts/check.sh linearity gate asserts on.
+inline size_t scalingUnits(size_t Nodes, size_t DuArcs) {
+  return Nodes + DuArcs;
+}
+
 /// A synthetic open program with ~N statements for the linear-time
 /// experiment E4. Mixes untainted arithmetic, environment inputs, tainted
 /// and untainted conditionals, and visible operations, so the closing

@@ -12,6 +12,7 @@
 #include <map>
 #include <set>
 #include <tuple>
+#include <unordered_map>
 
 using namespace closer;
 
@@ -77,12 +78,23 @@ std::vector<NodeId> succSet(const ProcCfg &Proc,
   return {Result.begin(), Result.end()};
 }
 
+/// Hash index over procedure names, built once per closeModule call so
+/// sanitizeNode does not pay a linear Module::procIndex scan per call node
+/// (quadratic on many-procedure corpora).
+using ProcIndexMap = std::unordered_map<std::string, int>;
+
+int lookupProc(const ProcIndexMap &Map, const std::string &Name) {
+  auto It = Map.find(Name);
+  return It == Map.end() ? -1 : It->second;
+}
+
 class ProcCloser {
 public:
   ProcCloser(const Module &Mod, const EnvAnalysis &Analysis, size_t ProcIdx,
-             const ClosingOptions &Options, ClosingStats &Stats)
+             const ClosingOptions &Options, ClosingStats &Stats,
+             const ProcIndexMap &ProcIdxByName)
       : Mod(Mod), Analysis(Analysis), ProcIdx(ProcIdx), Options(Options),
-        Stats(Stats), Proc(Mod.Procs[ProcIdx]),
+        Stats(Stats), ProcIdxByName(ProcIdxByName), Proc(Mod.Procs[ProcIdx]),
         PT(Analysis.taint().Procs[ProcIdx]) {}
 
   ProcCfg run() {
@@ -152,7 +164,7 @@ private:
 
     if (Node.Builtin == BuiltinKind::None) {
       // User procedure: drop arguments whose parameter Step 5 removed.
-      int CalleeIdx = Mod.procIndex(Node.Callee);
+      int CalleeIdx = lookupProc(ProcIdxByName, Node.Callee);
       if (CalleeIdx < 0)
         return;
       const ProcTaint &Callee = Analysis.taint().Procs[CalleeIdx];
@@ -178,7 +190,7 @@ private:
       if (Arg->Kind == ExprKind::Unknown)
         continue; // Already sanitized (idempotence).
       if (Analysis.taint().exprTainted(Mod, Analysis.alias(), ProcIdx, OrigId,
-                                       Arg)) {
+                                       Arg, &Analysis.exprUsesCache())) {
         Node.Args[A] = Expr::unknown(Arg->Loc);
         ++Stats.PayloadsSanitized;
       }
@@ -240,6 +252,7 @@ private:
   size_t ProcIdx;
   const ClosingOptions &Options;
   ClosingStats &Stats;
+  const ProcIndexMap &ProcIdxByName;
   const ProcCfg &Proc;
   const ProcTaint &PT;
   std::vector<bool> Marked;
@@ -259,8 +272,12 @@ Module closer::closeModule(const Module &Mod, const EnvAnalysis &Analysis,
   Out.Comms = Mod.Comms;
   Out.Globals = Mod.Globals;
 
+  ProcIndexMap ProcIdxByName;
+  for (size_t P = 0, E = Mod.Procs.size(); P != E; ++P)
+    ProcIdxByName.emplace(Mod.Procs[P].Name, static_cast<int>(P));
+
   for (size_t P = 0, E = Mod.Procs.size(); P != E; ++P) {
-    ProcCloser Closer(Mod, Analysis, P, Options, S);
+    ProcCloser Closer(Mod, Analysis, P, Options, S, ProcIdxByName);
     Out.Procs.push_back(Closer.run());
   }
 
@@ -269,7 +286,7 @@ Module closer::closeModule(const Module &Mod, const EnvAnalysis &Analysis,
   // instantiations closed).
   for (const ProcessDecl &Inst : Mod.Processes) {
     ProcessDecl NewInst = Inst;
-    int ProcIdx = Mod.procIndex(Inst.ProcName);
+    int ProcIdx = lookupProc(ProcIdxByName, Inst.ProcName);
     if (ProcIdx >= 0) {
       const ProcTaint &PT = Analysis.taint().Procs[ProcIdx];
       NewInst.Args.clear();

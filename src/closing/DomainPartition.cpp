@@ -88,11 +88,10 @@ std::vector<int64_t> representatives(const std::set<int64_t> &Constants) {
 
 /// Checks that every define-use successor of a definition of \p Var is an
 /// eligible constant comparison; collects the thresholds.
-bool usesAreEligible(const ProcCfg &Proc,
-                     const std::vector<std::pair<NodeId, std::string>> &Uses,
+bool usesAreEligible(const ProcCfg &Proc, DuArcRange Uses,
                      const std::string &Var, std::set<int64_t> &Constants) {
   for (const auto &[UseNode, UseVar] : Uses) {
-    if (UseVar != Var)
+    if (*UseVar != Var)
       continue;
     const CfgNode &M = Proc.Nodes[UseNode];
     if (M.Kind != CfgNodeKind::Branch)
@@ -236,6 +235,12 @@ bool closer::partitionInputsInPlace(Module &Mod, AnalysisManager &AM,
     // Fresh define-use facts after the env_input rewrites above (a cache
     // hit when nothing changed).
     DF = &AM.getDefUse(PI);
+    // Parameters partitioned this scan, by original index (ascending).
+    // Erasing from Params / Inst.Args mid-loop shifts every later index,
+    // which historically removed the wrong slot once a procedure had two
+    // partitionable parameters; instead the scan only records indices and
+    // a single compaction pass below erases them back-to-front.
+    std::vector<size_t> DroppedParams;
     for (size_t P = 0; P != Proc.Params.size(); ++P) {
       if (EnvBound[P] != 1)
         continue;
@@ -275,8 +280,26 @@ bool closer::partitionInputsInPlace(Module &Mod, AnalysisManager &AM,
       Proc.Nodes[Proc.Entry].Arcs.clear();
       Proc.Nodes[Proc.Entry].Arcs.push_back({ArcKind::Always, 0, TossId});
 
-      // Drop the parameter; keep storage as a local.
+      // Keep storage as a local; the signature slot goes away in the
+      // compaction pass after the scan. The CFG grew, so later parameters
+      // must be judged against recomputed define-use facts. (The old
+      // two-step driver kept consulting the stale pre-splice graph here,
+      // indexing past its node vectors when a procedure had a second
+      // partitionable parameter.)
       Proc.Locals.push_back({Var, -1});
+      DroppedParams.push_back(P);
+      AM.invalidateProc(PI, /*AliasPreserved=*/true);
+      DF = &AM.getDefUse(PI);
+      AnyChanged = true;
+      ++S.ParamsPartitioned;
+      S.RepresentativesTotal += Reps.size();
+    }
+
+    // Single compaction pass: erase partitioned slots from the signature
+    // and every instantiation back-to-front, so each recorded index is
+    // still the slot it was recorded against.
+    for (size_t K = DroppedParams.size(); K != 0; --K) {
+      size_t P = DroppedParams[K - 1];
       Proc.Params.erase(Proc.Params.begin() + static_cast<long>(P));
       for (ProcessDecl &Inst : Mod.Processes) {
         if (Inst.ProcName != Proc.Name)
@@ -284,19 +307,9 @@ bool closer::partitionInputsInPlace(Module &Mod, AnalysisManager &AM,
         if (P < Inst.Args.size())
           Inst.Args.erase(Inst.Args.begin() + static_cast<long>(P));
       }
-      // Parameter indices shifted and the CFG grew; restart the scan for
-      // this procedure against recomputed define-use facts. (The old
-      // two-step driver kept consulting the stale pre-splice graph here,
-      // indexing past its node vectors when a procedure had a second
-      // partitionable parameter.)
-      EnvBound.erase(EnvBound.begin() + static_cast<long>(P));
-      AM.invalidateProc(PI, /*AliasPreserved=*/true);
-      DF = &AM.getDefUse(PI);
-      AnyChanged = true;
-      ++S.ParamsPartitioned;
-      S.RepresentativesTotal += Reps.size();
-      --P;
     }
+    if (!DroppedParams.empty())
+      AM.invalidateProc(PI, /*AliasPreserved=*/true);
   }
 
   return AnyChanged;

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_set>
 
 using namespace closer;
 
@@ -42,12 +43,29 @@ std::vector<Diagnostic> PipelineOptions::validate() const {
   };
 
   const std::vector<std::string> Full = expandedPasses();
-  const std::vector<std::string> &Known = knownPassNames();
+  // Hash the registry once; the former per-name std::find over the full
+  // list was linear in the registry per lookup.
+  static const std::unordered_set<std::string> KnownSet(
+      knownPassNames().begin(), knownPassNames().end());
   for (const std::string &Name : Full)
-    if (std::find(Known.begin(), Known.end(), Name) == Known.end())
+    if (!KnownSet.count(Name))
       Error("unknown pass '" + Name + "' (known: parse, sema, lower, verify, "
             "partition, close, dedup-toss, naive-close, interface, "
             "lower-bytecode)");
+  if (!Out.empty())
+    return Out;
+
+  // Transform passes mutate the module, so scheduling one twice is almost
+  // always a mistyped --passes list — and running it anyway would silently
+  // re-transform and double-count stats. Read-only / snapshot passes
+  // (verify, interface, lower-bytecode) may legitimately repeat.
+  static const std::unordered_set<std::string> TransformPasses = {
+      "partition", "close", "dedup-toss", "naive-close"};
+  std::unordered_set<std::string> SeenTransforms;
+  for (const std::string &Name : Full)
+    if (TransformPasses.count(Name) && !SeenTransforms.insert(Name).second)
+      Error("duplicate pass '" + Name +
+            "' in --passes (transform passes run at most once per pipeline)");
   if (!Out.empty())
     return Out;
 
@@ -151,6 +169,13 @@ public:
     if (!Ctx.M)
       return false;
     Ctx.AM = std::make_unique<AnalysisManager>(*Ctx.M);
+    if (!Ctx.Opts.AnalysisCacheDir.empty()) {
+      // Prefill the fresh manager from the on-disk cache; later passes see
+      // hits as Reused, exactly as with the in-process cache.
+      Ctx.CacheStats.Enabled = true;
+      AnalysisCache(Ctx.Opts.AnalysisCacheDir)
+          .restore(*Ctx.AM, Ctx.Opts.Closing.Taint, Ctx.CacheStats);
+    }
     return true;
   }
 };
@@ -184,6 +209,12 @@ public:
     if (!requireModule(Ctx, name()))
       return false;
     const EnvAnalysis &Analysis = Ctx.AM->getEnvTaint(Ctx.Opts.Closing.Taint);
+    // Persist now, while every analysis is still materialized — the
+    // closing transform replaces the module, which rebinds the manager and
+    // drops them all.
+    if (!Ctx.Opts.AnalysisCacheDir.empty())
+      AnalysisCache(Ctx.Opts.AnalysisCacheDir)
+          .save(*Ctx.AM, Ctx.Opts.Closing.Taint, Ctx.CacheStats);
     auto Closed = std::make_unique<Module>(
         closeModule(*Ctx.M, Analysis, Ctx.Opts.Closing, &Ctx.Closing));
     if (!verifyModule(*Closed, Ctx.Diags)) {

@@ -43,6 +43,7 @@
 #include "closing/ClosingTransform.h"
 #include "closing/DomainPartition.h"
 #include "closing/InterfaceReport.h"
+#include "dataflow/AnalysisCache.h"
 #include "dataflow/AnalysisManager.h"
 #include "envgen/NaiveClose.h"
 #include "support/Diagnostics.h"
@@ -74,6 +75,13 @@ struct PipelineOptions {
 
   /// Capture emitModuleSource() after each run of the named pass.
   std::string PrintAfter;
+
+  /// Directory of the on-disk analysis cache (dataflow/AnalysisCache.h).
+  /// Empty disables persistence. When set, the lower pass restores every
+  /// matching entry into the AnalysisManager and the close pass saves the
+  /// materialized results back, so re-closing an edited corpus recomputes
+  /// only the touched procedures.
+  std::string AnalysisCacheDir;
 
   ClosingOptions Closing;
   PartitionOptions Partition;
@@ -121,6 +129,9 @@ public:
   PartitionStats Partition;
   NaiveCloseStats Naive;
   std::optional<InterfaceReport> Interface;
+  /// Restore/save traffic of the analysis cache (Enabled only when
+  /// Opts.AnalysisCacheDir is set).
+  AnalysisCacheStats CacheStats;
   /// Set by the lower-bytecode pass: the current module compiled to the
   /// vm/ register bytecode (shareable across any number of VM instances).
   /// Note the pass snapshots the module at its position in the pipeline;

@@ -69,6 +69,9 @@ struct CompileResult {
   std::vector<PassStat> Passes;
   /// Computed/Reused counters of the cached analyses.
   AnalysisStats Analyses;
+  /// On-disk analysis cache traffic (Enabled only when
+  /// PipelineOptions::AnalysisCacheDir was set).
+  AnalysisCacheStats Cache;
   /// (pass name, module source) captures from PrintAfter.
   std::vector<std::pair<std::string, std::string>> Printed;
 

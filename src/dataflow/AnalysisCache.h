@@ -1,0 +1,89 @@
+//===- AnalysisCache.h - On-disk persistence of analysis results -*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persists AnalysisManager results across processes so re-closing an
+/// edited corpus recomputes only what the edit touched. Entries are keyed
+/// by content fingerprints:
+///
+///  * alias_<module-fp>          — the module-wide Steensgaard analysis;
+///  * du_<proc-fp>_<alias-rfp>   — one procedure's define-use graph, keyed
+///    by the procedure's own fingerprint *and* the alias RESULT
+///    fingerprint (AliasAnalysis::resultFingerprint), so editing one
+///    procedure still restores every untouched procedure's graph as long
+///    as the points-to facts are unchanged;
+///  * taint_<module-fp>_<mode>   — the environment-taint fixpoint (the
+///    mode suffix separates coarse from fine results).
+///
+/// restore() prefills an AnalysisManager via its preload hooks (which do
+/// not touch the Computed/Reused counters), so the pipeline's later get*()
+/// calls surface as Reused in the `closer-close-stats-v1` artifact — the
+/// observable the incremental gate in scripts/check.sh asserts on.
+///
+/// Writes go through a temporary file plus atomic rename, so any number of
+/// `closer close --jobs N` workers may share one cache directory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_DATAFLOW_ANALYSISCACHE_H
+#define CLOSER_DATAFLOW_ANALYSISCACHE_H
+
+#include "dataflow/AnalysisManager.h"
+
+#include <cstdint>
+#include <string>
+
+namespace closer {
+
+/// FNV-1a fingerprint of one procedure: its name, signature (params,
+/// locals with array sizes), entry node and full CFG listing.
+uint64_t fingerprintProc(const ProcCfg &Proc);
+
+/// FNV-1a fingerprint of the whole module (declarations plus every
+/// procedure listing), salted with the cache schema version.
+uint64_t fingerprintModule(const Module &Mod);
+
+/// What one pipeline run restored from / saved to the cache; surfaced in
+/// the stats artifact next to the Computed/Reused counters.
+struct AnalysisCacheStats {
+  bool Enabled = false;        ///< A cache directory was configured.
+  uint64_t AliasRestored = 0;  ///< 0 or 1.
+  uint64_t DefUseRestored = 0; ///< Procedures restored.
+  uint64_t TaintRestored = 0;  ///< 0 or 1.
+  uint64_t EntriesSaved = 0;   ///< Files written by save().
+};
+
+class AnalysisCache {
+public:
+  /// Binds (and creates, if needed) the cache directory. An uncreatable
+  /// directory degrades to a disabled cache: restore() and save() become
+  /// no-ops rather than errors — the cache is an accelerator, never a
+  /// correctness requirement.
+  explicit AnalysisCache(std::string Dir);
+
+  /// Prefills \p AM with every entry matching the bound module. When the
+  /// alias entry misses but per-procedure entries may still apply (an
+  /// edited module), the alias analysis is computed through AM (counted as
+  /// Computed, which it is) to key the define-use lookups. The taint
+  /// fixpoint is only restored when alias and every procedure's define-use
+  /// were, since EnvAnalysis borrows them.
+  void restore(AnalysisManager &AM, const TaintOptions &TaintOpts,
+               AnalysisCacheStats &Stats);
+
+  /// Writes every materialized result of \p AM not already present in the
+  /// cache. Call while the analyses are still cached (before a transform
+  /// rebinds the manager).
+  void save(AnalysisManager &AM, const TaintOptions &TaintOpts,
+            AnalysisCacheStats &Stats);
+
+private:
+  std::string Dir; ///< Empty when disabled.
+};
+
+} // namespace closer
+
+#endif // CLOSER_DATAFLOW_ANALYSISCACHE_H

@@ -31,8 +31,11 @@
 #include "cfg/Cfg.h"
 #include "dataflow/AliasAnalysis.h"
 
+#include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace closer {
@@ -58,11 +61,46 @@ struct VarDef {
   bool Strong = false; ///< Kills previous definitions of Name.
 };
 
+/// One endpoint of a define-use arc: the node on the far side and the arc's
+/// variable label. \c Var points into the owning ProcDataflow's interned
+/// def-site name table and stays valid for the analysis' lifetime.
+struct DuArc {
+  NodeId Node;
+  const std::string *Var;
+};
+
+/// Contiguous, read-only view over one node's define-use arcs (a slice of
+/// the analysis-owned CSR arc array).
+class DuArcRange {
+public:
+  DuArcRange(const DuArc *B, const DuArc *E) : B(B), E(E) {}
+  const DuArc *begin() const { return B; }
+  const DuArc *end() const { return E; }
+  size_t size() const { return static_cast<size_t>(E - B); }
+  bool empty() const { return B == E; }
+  const DuArc &operator[](size_t I) const { return B[I]; }
+
+private:
+  const DuArc *B;
+  const DuArc *E;
+};
+
 /// The define-use graph of one procedure.
 class ProcDataflow {
 public:
   ProcDataflow(const Module &Mod, const ProcCfg &Proc,
                const AliasAnalysis &Alias);
+
+  /// Serializes the computed graph (use/def sets, define-use arcs, entry
+  /// reachability) as a text blob for the on-disk analysis cache.
+  std::string serialize() const;
+
+  /// Rebuilds a dataflow from a serialize() blob. Returns null on any
+  /// structural mismatch (e.g. node count differs from \p Proc); the
+  /// caller guarantees by fingerprint keying that \p Proc and the alias
+  /// facts match the blob.
+  static std::unique_ptr<ProcDataflow> deserialize(const ProcCfg &Proc,
+                                                   const std::string &Blob);
 
   const ProcCfg &proc() const { return Proc; }
 
@@ -77,15 +115,13 @@ public:
   }
 
   /// Define-use arcs out of \p N: (successor use node, variable).
-  const std::vector<std::pair<NodeId, std::string>> &
-  duSuccessors(NodeId N) const {
-    return DuSucc[N];
+  DuArcRange duSuccessors(NodeId N) const {
+    return {DuSuccDat.data() + DuSuccOff[N], DuSuccDat.data() + DuSuccOff[N + 1]};
   }
 
   /// Define-use arcs into \p N: (defining node, variable).
-  const std::vector<std::pair<NodeId, std::string>> &
-  duPredecessors(NodeId N) const {
-    return DuPred[N];
+  DuArcRange duPredecessors(NodeId N) const {
+    return {DuPredDat.data() + DuPredOff[N], DuPredDat.data() + DuPredOff[N + 1]};
   }
 
   /// True when the value parameter \p Var received at entry may reach the
@@ -97,6 +133,11 @@ public:
   size_t arcCount() const { return NumArcs; }
 
 private:
+  /// Deserialization shell: binds the procedure, leaves the state empty
+  /// for deserialize() to fill in.
+  struct RestoreTag {};
+  ProcDataflow(const ProcCfg &Proc, RestoreTag) : Proc(Proc) {}
+
   void computeUsesDefs(const Module &Mod, const AliasAnalysis &Alias);
   void computeReachingDefs();
 
@@ -106,12 +147,24 @@ private:
   std::vector<bool> NodeUsesUnknown;
   std::vector<std::vector<VarDef>> Defs;
   std::vector<std::set<std::string>> CrossDefs;
-  std::vector<std::vector<std::pair<NodeId, std::string>>> DuSucc;
-  std::vector<std::vector<std::pair<NodeId, std::string>>> DuPred;
-  std::vector<std::set<std::string>> EntryReaching; ///< Per node: params
-                                                    ///< whose entry value
-                                                    ///< reaches the node and
-                                                    ///< is used there.
+
+  /// Define-use arcs in CSR form, both directions: node I's arcs live in
+  /// Du*Dat[Du*Off[I] .. Du*Off[I+1]). Two flat arrays per direction keep
+  /// arc iteration sequential instead of chasing 2N per-node vectors.
+  std::vector<size_t> DuSuccOff, DuPredOff;
+  std::vector<DuArc> DuSuccDat, DuPredDat;
+
+  /// Def-site variables (parameters + anything some node defines) interned
+  /// to dense ids so the reaching-definitions solver can run over packed
+  /// integer sites instead of (NodeId, std::string) pairs. Key references
+  /// stay stable under unordered_map growth, so id -> name lookups hold
+  /// pointers into this map.
+  std::unordered_map<std::string, uint32_t> DefVarId;
+  std::vector<std::vector<uint32_t>> EntryReaching; ///< Per node, sorted:
+                                                    ///< interned params whose
+                                                    ///< entry value reaches
+                                                    ///< the node and is used
+                                                    ///< there.
   size_t NumArcs = 0;
 };
 

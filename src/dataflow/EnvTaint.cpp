@@ -9,6 +9,8 @@
 
 #include <cassert>
 #include <deque>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace closer;
 
@@ -17,17 +19,42 @@ using namespace closer;
 //===----------------------------------------------------------------------===//
 
 bool TaintResult::exprTainted(const Module &Mod, const AliasAnalysis &Alias,
-                              size_t ProcIdx, NodeId N, const Expr *E) const {
+                              size_t ProcIdx, NodeId N, const Expr *E,
+                              ExprUsesCache *Cache) const {
   if (!E)
     return false;
-  ExprUses U = collectExprUses(Mod, Mod.Procs[ProcIdx], Alias, E);
-  if (U.UsesUnknown)
+  // Fast paths for the trivial shapes (exactly the leaf cases of the
+  // expression-uses collector): almost every argument in real programs is
+  // a literal or a plain variable, and skipping the set materialization
+  // for them is what keeps the export loop allocation-free at scale.
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return false;
+  case ExprKind::Unknown:
+    return true;
+  case ExprKind::VarRef:
+    return Procs[ProcIdx].VI[N].count(E->Name) != 0;
+  default:
+    break;
+  }
+  const ExprUses *U;
+  ExprUses Scratch;
+  if (Cache) {
+    auto [It, Fresh] = Cache->try_emplace(E);
+    if (Fresh)
+      It->second = collectExprUses(Mod, Mod.Procs[ProcIdx], Alias, E);
+    U = &It->second;
+  } else {
+    Scratch = collectExprUses(Mod, Mod.Procs[ProcIdx], Alias, E);
+    U = &Scratch;
+  }
+  if (U->UsesUnknown)
     return true;
   const std::set<std::string> &Vi = Procs[ProcIdx].VI[N];
-  for (const std::string &V : U.Plain)
+  for (const std::string &V : U->Plain)
     if (Vi.count(V))
       return true;
-  for (const std::string &Q : U.Cross)
+  for (const std::string &Q : U->Cross)
     if (EverTainted.count(Q))
       return true;
   return false;
@@ -59,6 +86,17 @@ EnvAnalysis::EnvAnalysis(const Module &Mod, const AliasAnalysis &Alias,
   runFixpoint(Options);
 }
 
+EnvAnalysis::EnvAnalysis(const Module &Mod, const AliasAnalysis &Alias,
+                         std::vector<const ProcDataflow *> Dataflows,
+                         TaintResult Restored)
+    : Mod(Mod), AliasPtr(&Alias), DataflowPtrs(std::move(Dataflows)),
+      Result(std::move(Restored)) {
+  assert(DataflowPtrs.size() == Mod.Procs.size() &&
+         "one dataflow per procedure");
+  assert(Result.Procs.size() == Mod.Procs.size() &&
+         "restored result must cover every procedure");
+}
+
 namespace {
 
 /// Size snapshot of all monotone sets, for fixpoint detection.
@@ -87,6 +125,24 @@ Footprint footprint(const TaintResult &R) {
 
 void EnvAnalysis::runFixpoint(TaintOptions Options) {
   size_t NumProcs = Mod.Procs.size();
+
+  // Name lookups run once per node per fixpoint round; the Module's own
+  // findGlobal/procIndex are linear scans, which turns the fixpoint
+  // quadratic on many-procedure corpora. Build hash indices once — the
+  // module is not mutated while the analysis runs.
+  std::unordered_map<std::string, int> ProcIdxByName;
+  for (size_t P = 0; P != NumProcs; ++P)
+    ProcIdxByName.emplace(Mod.Procs[P].Name, static_cast<int>(P));
+  auto procIndex = [&](const std::string &Name) {
+    auto It = ProcIdxByName.find(Name);
+    return It == ProcIdxByName.end() ? -1 : It->second;
+  };
+  std::unordered_set<std::string> GlobalNames;
+  for (const GlobalDecl &G : Mod.Globals)
+    GlobalNames.insert(G.Name);
+  auto isGlobal = [&](const std::string &Name) {
+    return GlobalNames.count(Name) != 0;
+  };
   Result.Procs.resize(NumProcs);
   for (size_t P = 0; P != NumProcs; ++P) {
     const ProcCfg &Proc = Mod.Procs[P];
@@ -99,7 +155,7 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
   // Seed: `env` process arguments bind environment values to top-level
   // parameters.
   for (const ProcessDecl &Inst : Mod.Processes) {
-    int ProcIdx = Mod.procIndex(Inst.ProcName);
+    int ProcIdx = procIndex(Inst.ProcName);
     if (ProcIdx < 0)
       continue;
     for (size_t I = 0,
@@ -110,6 +166,11 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
         Result.Procs[ProcIdx].TaintedParams[I] = true;
   }
 
+  // The member expression-uses memo: rounds after the first (and the
+  // closing transform afterwards) hit the cache instead of re-walking
+  // every argument expression.
+  ExprCache.clear();
+
   Footprint Prev = footprint(Result);
   for (;;) {
     for (size_t P = 0; P != NumProcs; ++P) {
@@ -117,6 +178,17 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
       const ProcDataflow &DF = *DataflowPtrs[P];
       ProcTaint &PT = Result.Procs[P];
       size_t N = Proc.Nodes.size();
+      // Reused qualified-name buffer: the seed and V_I loops look up
+      // "proc::var" for every use of every node on every fixpoint round,
+      // and building that string fresh each time allocates millions of
+      // temporaries on large modules.
+      std::string Qual = Proc.Name + "::";
+      const size_t QualPrefix = Qual.size();
+      auto qualify = [&](const std::string &V) -> const std::string & {
+        Qual.resize(QualPrefix);
+        Qual += V;
+        return Qual;
+      };
 
       // --- Identify env-definition sources and seed uses -----------------
       std::fill(PT.EnvSource.begin(), PT.EnvSource.end(), false);
@@ -139,7 +211,7 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
               PT.EnvSource[I] = true;
             break;
           case BuiltinKind::None: {
-            int CalleeIdx = Mod.procIndex(Node.Callee);
+            int CalleeIdx = procIndex(Node.Callee);
             if (Node.Target && CalleeIdx >= 0 &&
                 Result.Procs[CalleeIdx].TaintedReturn)
               PT.EnvSource[I] = true;
@@ -156,14 +228,14 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
           continue;
         }
         for (const std::string &V : DF.uses(I)) {
-          if (Mod.findGlobal(V)) {
+          if (isGlobal(V)) {
             if (Result.TaintedGlobals.count(V)) {
               Seed[I] = true;
               break;
             }
             continue;
           }
-          std::string Qual = Proc.Name + "::" + V;
+          qualify(V);
           if (Result.CrossWritten.count(Qual)) {
             Seed[I] = true;
             break;
@@ -225,10 +297,10 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
           continue;
         for (const std::string &V : DF.uses(I)) {
           bool Tainted = false;
-          if (Mod.findGlobal(V)) {
+          if (isGlobal(V)) {
             Tainted = Result.TaintedGlobals.count(V) != 0;
           } else {
-            std::string Qual = Proc.Name + "::" + V;
+            qualify(V);
             int ParamIdx = Proc.paramIndex(V);
             Tainted =
                 Result.CrossWritten.count(Qual) ||
@@ -239,7 +311,7 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
           if (!Tainted) {
             for (const auto &[From, Var] :
                  DF.duPredecessors(static_cast<NodeId>(I))) {
-              if (Var == V && (PT.InNI[From] || PT.EnvSource[From])) {
+              if (*Var == V && (PT.InNI[From] || PT.EnvSource[From])) {
                 Tainted = true;
                 break;
               }
@@ -258,10 +330,10 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
         // Tainted definitions flow into the cross-procedure sets.
         if (NodeTainted || (Options.CoarseMode && PT.InNI[I])) {
           for (const VarDef &D : DF.defs(static_cast<NodeId>(I))) {
-            if (Mod.findGlobal(D.Name))
+            if (isGlobal(D.Name))
               Result.TaintedGlobals.insert(D.Name);
             else
-              Result.EverTainted.insert(Proc.Name + "::" + D.Name);
+              Result.EverTainted.insert(qualify(D.Name));
             if (D.Name == retValName())
               PT.TaintedReturn = true;
           }
@@ -277,7 +349,7 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
           continue;
         switch (Node.Builtin) {
         case BuiltinKind::None: {
-          int CalleeIdx = Mod.procIndex(Node.Callee);
+          int CalleeIdx = procIndex(Node.Callee);
           if (CalleeIdx < 0)
             break;
           ProcTaint &Callee = Result.Procs[CalleeIdx];
@@ -286,7 +358,7 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
                                     Callee.TaintedParams.size());
                A != AE; ++A) {
             if (Result.exprTainted(Mod, *AliasPtr, P, static_cast<NodeId>(I),
-                                   Node.Args[A].get()))
+                                   Node.Args[A].get(), &ExprCache))
               Callee.TaintedParams[A] = true;
           }
           break;
@@ -294,13 +366,13 @@ void EnvAnalysis::runFixpoint(TaintOptions Options) {
         case BuiltinKind::Send:
           if (Node.Args.size() == 2 &&
               Result.exprTainted(Mod, *AliasPtr, P, static_cast<NodeId>(I),
-                                 Node.Args[1].get()))
+                                 Node.Args[1].get(), &ExprCache))
             Result.TaintedChannels.insert(Node.Args[0]->Name);
           break;
         case BuiltinKind::SharedWrite:
           if (Node.Args.size() == 2 &&
               Result.exprTainted(Mod, *AliasPtr, P, static_cast<NodeId>(I),
-                                 Node.Args[1].get()))
+                                 Node.Args[1].get(), &ExprCache))
             Result.TaintedShared.insert(Node.Args[0]->Name);
           break;
         default:

@@ -47,6 +47,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace closer {
@@ -84,10 +85,19 @@ struct TaintResult {
   /// (consulted by cross-procedure pointer reads).
   std::set<std::string> EverTainted;
 
+  /// Memo for the variable sets an expression reads. The sets depend only
+  /// on the module and the alias facts — not on the taint state — so one
+  /// cache stays valid across every fixpoint round and across the closing
+  /// transform, and expression pointers are stable for the module's
+  /// lifetime.
+  using ExprUsesCache = std::unordered_map<const Expr *, ExprUses>;
+
   /// True when an argument expression of node \p N in procedure \p ProcIdx
-  /// is environment-dependent.
+  /// is environment-dependent. \p Cache, when provided, memoizes the
+  /// expression walk (the dominant cost on large modules).
   bool exprTainted(const Module &Mod, const AliasAnalysis &Alias,
-                   size_t ProcIdx, NodeId N, const Expr *E) const;
+                   size_t ProcIdx, NodeId N, const Expr *E,
+                   ExprUsesCache *Cache = nullptr) const;
 };
 
 /// The analysis pipeline shared by closing and clients: alias analysis,
@@ -105,12 +115,27 @@ public:
               std::vector<const ProcDataflow *> Dataflows,
               TaintOptions Options = {});
 
+  /// Rehydrating constructor for the analysis cache: installs a previously
+  /// computed TaintResult instead of running the fixpoint. The caller
+  /// certifies (by fingerprint keying) that \p Restored was computed on an
+  /// identical module with identical options; \p Alias and \p Dataflows
+  /// obey the borrowing constructor's contract.
+  EnvAnalysis(const Module &Mod, const AliasAnalysis &Alias,
+              std::vector<const ProcDataflow *> Dataflows,
+              TaintResult Restored);
+
   const Module &module() const { return Mod; }
   const AliasAnalysis &alias() const { return *AliasPtr; }
   const ProcDataflow &dataflow(size_t ProcIdx) const {
     return *DataflowPtrs[ProcIdx];
   }
   const TaintResult &taint() const { return Result; }
+
+  /// The expression-uses memo populated during the fixpoint. Clients that
+  /// query exprTainted after the analysis (the closing transform sanitizes
+  /// the same argument expressions the export loop classified) pass it to
+  /// reuse the walks. Mutable-by-design: it is a pure function memo.
+  TaintResult::ExprUsesCache &exprUsesCache() const { return ExprCache; }
 
   /// True when the module has no environment interface left (every
   /// procedure's N_I is empty and there are no env_input/env_output nodes
@@ -121,6 +146,7 @@ private:
   void runFixpoint(TaintOptions Options);
 
   const Module &Mod;
+  mutable TaintResult::ExprUsesCache ExprCache;
   /// Owned storage (classic constructor); empty in borrowed mode.
   std::unique_ptr<AliasAnalysis> OwnedAlias;
   std::vector<std::unique_ptr<ProcDataflow>> OwnedDataflows;

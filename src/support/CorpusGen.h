@@ -1,0 +1,42 @@
+//===- CorpusGen.h - Synthetic multi-procedure corpus generator -*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic generator of open multi-procedure MiniC programs: P
+/// procedures of S statements each, mixing environment inputs, tainted and
+/// untainted arithmetic, global writes, channel sends and cross-procedure
+/// calls. Shared by `closer gen-corpus`, the scaling benchmark and the
+/// incremental-closing tests (which need two corpora differing in exactly
+/// one procedure — see CorpusConfig::TweakProc).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_SUPPORT_CORPUSGEN_H
+#define CLOSER_SUPPORT_CORPUSGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace closer {
+
+struct CorpusConfig {
+  int Procs = 8;         ///< Number of procedures p0..p{N-1}.
+  int StmtsPerProc = 32; ///< Generated statements per procedure body.
+  uint64_t Seed = 11;    ///< PRNG seed; same config -> same bytes.
+  /// When in [0, Procs), append one extra (pure, pointer-free) statement
+  /// to that procedure's body: the result differs from the untweaked
+  /// corpus in exactly one procedure, which is how the incremental
+  /// analysis-cache gate produces an "edited corpus".
+  int TweakProc = -1;
+};
+
+/// Emits the corpus as MiniC source.
+std::string generateCorpusSource(const CorpusConfig &Config);
+
+} // namespace closer
+
+#endif // CLOSER_SUPPORT_CORPUSGEN_H

@@ -169,7 +169,7 @@ proc f(x) {
   // a's def reaches b's use; b's def reaches c's use.
   auto HasArc = [&](NodeId From, NodeId To, const std::string &V) {
     for (const auto &[T, Var] : DF.duSuccessors(From))
-      if (T == To && Var == V)
+      if (T == To && *Var == V)
         return true;
     return false;
   };

@@ -136,6 +136,59 @@ process g = gate(env);
   EXPECT_TRUE(Payloads.count("'lo'"));
 }
 
+TEST(DomainPartitionTest, TwoPartitionableParamsInOneProc) {
+  // Regression: removing partitioned params used erase() with indices
+  // captured before the first removal, so the second partitioned param of
+  // the same proc shifted down and the wrong slot was erased. Params at
+  // indices 0 and 2 both partition here while index 1 must survive (its
+  // value flows into a payload).
+  auto Mod = mustCompile(R"(
+chan c[4];
+proc work(a, b, x) {
+  if (a < 3)
+    send(c, 1);
+  b = b + 1;
+  send(c, b);
+  if (x < 7)
+    send(c, 2);
+}
+process m = work(env, env, env);
+)");
+  PartitionStats Stats;
+  Module Simplified = partitionInputs(*Mod, {}, &Stats);
+  EXPECT_EQ(Stats.ParamsPartitioned, 2u);
+
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(verifyModule(Simplified, Diags)) << Diags.str();
+
+  // Exactly the un-partitionable middle param remains, in both the proc
+  // signature and the instantiation.
+  const ProcCfg *Work = Simplified.findProc("work");
+  ASSERT_NE(Work, nullptr);
+  ASSERT_EQ(Work->Params.size(), 1u);
+  EXPECT_EQ(Work->Params[0], "b");
+  ASSERT_EQ(Simplified.Processes[0].Args.size(), 1u);
+
+  // All four classification outcomes stay reachable: {1 sent, not} x
+  // {2 sent, not}.
+  Module Closed = closeModule(Simplified);
+  EnvAnalysis Analysis(Closed);
+  EXPECT_TRUE(Analysis.moduleIsClosed());
+  SearchOptions Opts;
+  Explorer Ex(Closed, Opts);
+  std::vector<Trace> Traces = Ex.collectTraces(256);
+  std::set<std::pair<bool, bool>> Outcomes;
+  for (const Trace &T : Traces) {
+    bool SentOne = false, SentTwo = false;
+    for (const VisibleEvent &E : T) {
+      SentOne |= E.Payload.str() == "1";
+      SentTwo |= E.Payload.str() == "2";
+    }
+    Outcomes.insert({SentOne, SentTwo});
+  }
+  EXPECT_EQ(Outcomes.size(), 4u);
+}
+
 TEST(DomainPartitionTest, ArithmeticUseDisqualifies) {
   auto Mod = mustCompile(R"(
 chan out[4];

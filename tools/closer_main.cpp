@@ -24,6 +24,7 @@
 #include "explorer/Replay.h"
 #include "explorer/Search.h"
 #include "support/CommandLine.h"
+#include "support/CorpusGen.h"
 #include "support/Json.h"
 #include "switchapp/SwitchApp.h"
 
@@ -36,6 +37,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace closer;
@@ -44,9 +46,10 @@ namespace {
 
 void usage() {
   std::fprintf(stderr, R"(usage:
-  closer close <file.mc> [--coarse] [--dedup-toss] [--partition]
+  closer close <file.mc>... [--coarse] [--dedup-toss] [--partition]
                [--max-reps N] [--passes LIST] [--print-after PASS]
-               [--verify-each] [--stats-json FILE]
+               [--verify-each] [--stats-json FILE] [--jobs N]
+               [--analysis-cache DIR]
       Close the program with its most general environment; print MiniC.
       Runs the pass pipeline parse, sema, lower, verify, close by
       default. --partition inserts the section 7 input-domain
@@ -60,6 +63,14 @@ void usage() {
       module source to stderr after each run of PASS. --stats-json FILE
       writes a closer-close-stats-v1 artifact: per-pass wall times,
       analysis cache computed/reused counters and all transform stats.
+      Several input files compile as one batch sharing the pass registry;
+      --jobs N closes them on N worker threads. Output order and bytes
+      are identical to closing each file in its own process, and
+      --stats-json then writes a closer-close-batch-stats-v1 artifact
+      with one per-module stats block per input. --analysis-cache DIR
+      persists analysis results keyed by content fingerprints, so
+      re-closing an edited corpus recomputes only touched procedures
+      (restored entries surface as `reused` in the stats artifact).
   closer cfg <file.mc> [proc]
       Print the closed control-flow graph listing(s).
   closer dot <file.mc> <proc>
@@ -108,6 +119,11 @@ void usage() {
   closer gen-switchapp [--lines N] [--trunks N] [--events N] [--variants N]
                        [--bug]
       Emit the synthetic call-processing application source.
+  closer gen-corpus [--procs N] [--stmts N] [--seed S] [--tweak K]
+      Emit a deterministic open multi-procedure corpus (same flags, same
+      bytes). --tweak K appends one pure statement to procedure K — an
+      "edited corpus" differing in exactly one procedure, for exercising
+      the incremental analysis cache.
 )");
 }
 
@@ -143,6 +159,11 @@ const FlagSpec &closerFlagSpec() {
       {"--exec", FlagArity::Value},
       {"--passes", FlagArity::Value},
       {"--print-after", FlagArity::Value},
+      {"--analysis-cache", FlagArity::Value},
+      {"--procs", FlagArity::Value},
+      {"--stmts", FlagArity::Value},
+      {"--seed", FlagArity::Value},
+      {"--tweak", FlagArity::Value},
       // `--progress` alone uses the default interval; `--progress=0.5`
       // overrides it. It never consumes the next argument.
       {"--progress", FlagArity::OptionalValue},
@@ -213,6 +234,7 @@ PipelineOptions pipelineOptionsFromArgs(const Args &A) {
   Opts.VerifyEach = A.has("--verify-each");
   Opts.PrintAfter = A.strOf("--print-after", "");
   Opts.Passes = splitPassList(A.strOf("--passes", ""));
+  Opts.AnalysisCacheDir = A.strOf("--analysis-cache", "");
   return Opts;
 }
 
@@ -246,22 +268,19 @@ bool pipelineHasPass(const CompileResult &R, const char *Name) {
   return std::find(P.begin(), P.end(), Name) != P.end();
 }
 
-int cmdClose(const Args &A, bool ForcePartition = false) {
-  if (A.Positional.empty()) {
-    usage();
-    return 1;
+/// Prints one compiled module exactly as the historical single-file
+/// `closer close` did: --print-after captures and diagnostics to stderr,
+/// the closed source to stdout, the transform summary comments to stderr.
+/// Batch mode reports every file through this in input order, so the
+/// combined output is byte-identical to closing each file in sequence.
+bool reportCloseResult(const CompileResult &R) {
+  for (const auto &[Pass, Text] : R.Printed)
+    std::fprintf(stderr, "// --- module after pass '%s' ---\n%s",
+                 Pass.c_str(), Text.c_str());
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s", R.Diags.str().c_str());
+    return false;
   }
-  PipelineOptions Opts = pipelineOptionsFromArgs(A);
-  if (ForcePartition || A.has("--partition")) {
-    if (Opts.Passes.empty())
-      Opts.Passes = {"partition", "close"};
-    else if (std::find(Opts.Passes.begin(), Opts.Passes.end(),
-                       "partition") == Opts.Passes.end())
-      Opts.Passes.insert(Opts.Passes.begin(), "partition");
-  }
-  if (!argsOk(A))
-    return 1;
-  CompileResult R = compileFileOrDie(A.Positional[0], Opts, A);
   std::printf("%s", emitModuleSource(*R.M).c_str());
   if (pipelineHasPass(R, "partition"))
     std::fprintf(stderr,
@@ -277,7 +296,83 @@ int cmdClose(const Args &A, bool ForcePartition = false) {
                  R.Closing.NodesBefore, R.Closing.NodesAfter,
                  R.Closing.TossNodesInserted, R.Closing.ParamsRemoved,
                  R.Closing.EnvCallsRemoved);
-  return 0;
+  return true;
+}
+
+int cmdClose(const Args &A, bool ForcePartition = false) {
+  if (A.Positional.empty()) {
+    usage();
+    return 1;
+  }
+  PipelineOptions Opts = pipelineOptionsFromArgs(A);
+  if (ForcePartition || A.has("--partition")) {
+    if (Opts.Passes.empty())
+      Opts.Passes = {"partition", "close"};
+    else if (std::find(Opts.Passes.begin(), Opts.Passes.end(),
+                       "partition") == Opts.Passes.end())
+      Opts.Passes.insert(Opts.Passes.begin(), "partition");
+  }
+  long JobsArg = A.intOf("--jobs", 1);
+  size_t Jobs = JobsArg > 0 ? static_cast<size_t>(JobsArg) : 1;
+  std::string StatsJsonPath = A.strOf("--stats-json", "");
+  if (!argsOk(A))
+    return 1;
+
+  // Batch compile: every positional file runs the same pipeline (one pass
+  // registry, one options struct, optionally one shared analysis-cache
+  // directory) inside this process. Reads happen up front on the main
+  // thread so a missing file dies with the usual diagnostic.
+  const std::vector<std::string> &Files = A.Positional;
+  std::vector<std::string> Sources;
+  Sources.reserve(Files.size());
+  for (const std::string &File : Files)
+    Sources.push_back(readFile(File.c_str()));
+
+  std::vector<CompileResult> Results(Files.size());
+  size_t Workers = std::min(Jobs, Files.size());
+  if (Workers <= 1) {
+    for (size_t I = 0; I != Files.size(); ++I)
+      Results[I] = compile(Sources[I], Opts);
+  } else {
+    std::atomic<size_t> Next{0};
+    std::vector<std::thread> Pool;
+    for (size_t W = 0; W != Workers; ++W)
+      Pool.emplace_back([&] {
+        for (size_t I; (I = Next.fetch_add(1)) < Files.size();)
+          Results[I] = compile(Sources[I], Opts);
+      });
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Ordered reporting, independent of completion order.
+  bool AnyFailed = false;
+  for (const CompileResult &R : Results)
+    AnyFailed |= !reportCloseResult(R);
+
+  if (!StatsJsonPath.empty()) {
+    json::Value Doc;
+    if (Files.size() == 1) {
+      Doc = compileArtifactToJson(Results[0]);
+    } else {
+      Doc = json::Value::object();
+      Doc.add("schema", "closer-close-batch-stats-v1");
+      Doc.add("jobs", static_cast<uint64_t>(Jobs));
+      json::Value Modules = json::Value::array();
+      for (size_t I = 0; I != Files.size(); ++I) {
+        json::Value Entry = compileArtifactToJson(Results[I]);
+        Entry.add("file", Files[I]);
+        Modules.push(std::move(Entry));
+      }
+      Doc.add("modules", std::move(Modules));
+    }
+    std::string Err;
+    if (!json::writeJsonFile(StatsJsonPath, Doc, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  return AnyFailed ? 1 : 0;
 }
 
 int cmdCfg(const Args &A) {
@@ -541,6 +636,18 @@ int cmdReplay(const Args &A) {
   return 0;
 }
 
+int cmdGenCorpus(const Args &A) {
+  CorpusConfig Config;
+  Config.Procs = static_cast<int>(A.intOf("--procs", 8));
+  Config.StmtsPerProc = static_cast<int>(A.intOf("--stmts", 32));
+  Config.Seed = static_cast<uint64_t>(A.intOf("--seed", 11));
+  Config.TweakProc = static_cast<int>(A.intOf("--tweak", -1));
+  if (!argsOk(A))
+    return 1;
+  std::printf("%s", generateCorpusSource(Config).c_str());
+  return 0;
+}
+
 int cmdGenSwitchApp(const Args &A) {
   SwitchAppConfig Config;
   Config.NumLines = static_cast<int>(A.intOf("--lines", 3));
@@ -586,6 +693,8 @@ int main(int argc, char **argv) {
     return cmdInterface(A);
   if (Cmd == "gen-switchapp")
     return cmdGenSwitchApp(A);
+  if (Cmd == "gen-corpus")
+    return cmdGenCorpus(A);
   usage();
   return 1;
 }
