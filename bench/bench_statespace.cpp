@@ -25,6 +25,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <thread>
 
 using namespace closer;
 
@@ -83,6 +84,10 @@ void emitExploreRecord(BenchJson &Json, const std::string &Config,
       .count("cache_inserts", Stats.CacheInserts)
       .count("cache_saturated", Stats.CacheSaturated)
       .count("completed", Stats.Completed ? 1 : 0)
+      .count("steals", Stats.Steals)
+      .count("wakeups", Stats.Wakeups)
+      .count("arena_bytes", Stats.ArenaBytes)
+      .count("pool_fresh", Stats.PoolFresh)
       .num("seconds", Seconds)
       .num("states_per_sec", safeRate(Stats.StatesVisited, Seconds))
       .num("transitions_per_sec", safeRate(Stats.TreeTransitions, Seconds));
@@ -115,9 +120,120 @@ void BM_TransformedClosed(benchmark::State &State) {
 }
 BENCHMARK(BM_TransformedClosed);
 
+/// Work-stealing scheduler series (steal_grid): the cached grid workload
+/// at j=1 and j=min(nproc, 4) workers (j=2 on a single-core box, purely
+/// for the counter plumbing — scripts/check.sh applies the speedup gate
+/// only when real parallelism exists). Beyond throughput, the rows carry
+/// the scheduler/allocator counters the scheduler layer introduced:
+///
+///  * steals / wakeups — total scheduler traffic, plus a per-worker steal
+///    breakdown so load imbalance is visible, not just averaged away;
+///  * arena_bytes / pool_fresh — upstream-allocator traffic. The
+///    zero-steady-state-allocation contract says that once the snapshot
+///    and vector pools warm up, expanding a state touches no global
+///    allocator: fresh pool constructions are bounded by the DFS stack's
+///    high-water mark (plus retained checkpoints), which is orders of
+///    magnitude below the state count on this workload. Enforced here as
+///    pool_fresh * 50 < states on the sequential row, not eyeballed.
+///
+/// Tree-shaped stats must agree between the rows (same determinism
+/// contract as the cached_grid series). Returns nonzero on gate failure.
+/// Also runnable standalone (`bench_statespace --steal-only`), which is
+/// how scripts/check.sh drives it without paying for the full bench.
+int runStealGridSeries(BenchJson &Json) {
+  const int GridIters = 512;
+  auto Grid = benchCompile(semGridProgram(GridIters));
+  SearchOptions GridOpts;
+  GridOpts.MaxDepth = uint64_t(1) << 24;
+  GridOpts.MaxRuns = 0;
+  GridOpts.UsePersistentSets = false;
+  GridOpts.UseSleepSets = false;
+  GridOpts.CheckpointInterval = 8;
+  GridOpts.StateCacheBits = 23;
+
+  unsigned HW = std::thread::hardware_concurrency();
+  int JN = HW > 1 ? static_cast<int>(HW < 4 ? HW : 4) : 2;
+  std::printf("steal_grid series: sem grid %d x %d, --state-cache=23 "
+              "--checkpoint-interval 8, work-stealing scheduler\n\n",
+              GridIters, GridIters);
+  std::printf("%-18s %12s %10s %10s %12s %14s\n", "variant", "states",
+              "steals", "wakeups", "pool-fresh", "states/sec");
+  SearchStats SeqSteal;
+  for (int Jobs : {1, JN}) {
+    SearchOptions Opts = GridOpts;
+    Opts.Jobs = static_cast<size_t>(Jobs);
+    auto T0 = std::chrono::steady_clock::now();
+    SearchResult R = explore(*Grid, Opts);
+    auto T1 = std::chrono::steady_clock::now();
+    double Sec = std::chrono::duration<double>(T1 - T0).count();
+    const SearchStats &S = R.Stats;
+    std::printf("steal j=%-9d %12llu %10llu %10llu %12llu %14.0f\n", Jobs,
+                static_cast<unsigned long long>(S.StatesVisited),
+                static_cast<unsigned long long>(S.Steals),
+                static_cast<unsigned long long>(S.Wakeups),
+                static_cast<unsigned long long>(S.PoolFresh),
+                Sec > 0 ? static_cast<double>(S.StatesVisited) / Sec : 0);
+    std::string ByWorker;
+    for (size_t W = 0; W != R.Workers.size(); ++W)
+      ByWorker += (W ? "," : "") + std::to_string(R.Workers[W].Steals);
+    Json.record("steal_grid_j" + std::to_string(Jobs))
+        .str("exec", execName(Opts.Exec))
+        .count("checkpoint_interval", Opts.CheckpointInterval)
+        .count("jobs", Opts.Jobs)
+        .count("state_cache_bits", Opts.StateCacheBits)
+        .count("states", S.StatesVisited)
+        .count("tree_transitions", S.TreeTransitions)
+        .count("cache_inserts", S.CacheInserts)
+        .count("completed", S.Completed ? 1 : 0)
+        .count("steals", S.Steals)
+        .count("wakeups", S.Wakeups)
+        .count("arena_bytes", S.ArenaBytes)
+        .count("pool_fresh", S.PoolFresh)
+        .str("steals_by_worker", ByWorker)
+        .num("seconds", Sec)
+        .num("states_per_sec", safeRate(S.StatesVisited, Sec));
+    if (!S.Completed || S.CacheSaturated || S.DepthLimitHits) {
+      std::fprintf(stderr, "steal grid run violated the determinism "
+                           "contract preconditions!\n");
+      return 1;
+    }
+    if (Jobs == 1) {
+      SeqSteal = S;
+      if (S.PoolFresh * 50 >= S.StatesVisited) {
+        std::fprintf(stderr,
+                     "steady-state allocation gate failed: pool_fresh=%llu "
+                     "vs states=%llu — expansion is hitting the global "
+                     "allocator\n",
+                     static_cast<unsigned long long>(S.PoolFresh),
+                     static_cast<unsigned long long>(S.StatesVisited));
+        return 1;
+      }
+    } else if (S.StatesVisited != SeqSteal.StatesVisited ||
+               S.TreeTransitions != SeqSteal.TreeTransitions ||
+               S.CacheInserts != SeqSteal.CacheInserts) {
+      std::fprintf(stderr, "steal grid tree stats diverged between jobs=1 "
+                           "and jobs=%d!\n", JN);
+      return 1;
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  // `--steal-only`: run just the scheduler series and write its artifact —
+  // the mode scripts/check.sh uses for the steal_grid gates.
+  for (int A = 1; A < argc; ++A)
+    if (std::string(argv[A]) == "--steal-only") {
+      BenchJson Json;
+      if (runStealGridSeries(Json))
+        return 1;
+      Json.write("BENCH_statespace_steal.json");
+      return 0;
+    }
+
   BenchJson Json;
 
   // Print the headline series as a table (the "figure" this regenerates).
@@ -351,6 +467,9 @@ int main(int argc, char **argv) {
   }
   std::printf("\nvm_deep interpreter/VM wall-time ratio: %.2fx\n\n",
               DeepRatio);
+
+  if (runStealGridSeries(Json))
+    return 1;
 
   Json.write("BENCH_statespace.json");
 

@@ -6,6 +6,10 @@
 #   * the concurrent state-cache suite is re-run explicitly under
 #     ThreadSanitizer (the full ctest pass above includes it too; this
 #     step makes a silent discovery failure loud);
+#   * the work-stealing scheduler suite (Chase–Lev deque, parking lot,
+#     steal-equivalence matrix) is re-run explicitly under Tsan, and the
+#     steal_grid bench series gates sequential throughput, parallel
+#     speedup (multi-core boxes only) and steady-state allocation;
 #   * the vm differential suite (bytecode dispatch + checked arithmetic)
 #     is re-run explicitly under Asan+UBSan;
 #   * any BENCH_*.json benchmark outputs lying around the build tree must
@@ -45,6 +49,19 @@ if (cd "$BUILD" && ctest -N -R 'Tsan\.StateCache' | grep 'Tsan\.StateCache' >/de
   (cd "$BUILD" && ctest --output-on-failure -R 'Tsan\.StateCache')
 else
   echo "warning: no Tsan.StateCache tests discovered (Tsan tree build?)" >&2
+fi
+
+echo "== tsan scheduler suite =="
+# The work-stealing scheduler layer (Chase–Lev deques, parking lot,
+# termination protocol) and the jobs x checkpoint x cache x exec
+# equivalence matrix, recompiled under ThreadSanitizer. Same
+# silent-disappearance guard as the state-cache gate above.
+if (cd "$BUILD" && ctest -N -R 'Tsan\.(ChaseLevDeque|ParkingLot|Scheduler|StealEquivalence)' \
+    | grep 'Tsan\.' >/dev/null); then
+  (cd "$BUILD" && ctest --output-on-failure \
+    -R 'Tsan\.(ChaseLevDeque|ParkingLot|Scheduler|StealEquivalence)')
+else
+  echo "warning: no Tsan scheduler tests discovered (Tsan tree build?)" >&2
 fi
 
 echo "== asan pass-pipeline suite =="
@@ -152,6 +169,51 @@ print(f"ok: close ns/unit N512={small:.0f} N32768={mid:.0f} N131072={big:.0f} "
 EOF
 else
   echo "warning: $BENCH_SCALING not built; skipping linearity gate" >&2
+fi
+
+echo "== work-stealing scheduler gate (bench_statespace --steal-only) =="
+# The steal_grid series: cached grid at j=1 and j=min(nproc,4). The bench
+# binary itself enforces j1-vs-jN tree identity and the zero-steady-state-
+# allocation gate (pool_fresh * 50 < states) — a nonzero exit here is one
+# of those tripping. On top, gate throughput:
+#   (a) j1 must hold the cached-grid anchor (1,120,314 states/sec at PR 4)
+#       within a 0.80x noise floor — the scheduler layer must not tax the
+#       sequential path;
+#   (b) only when the box has real parallelism (nproc > 1): jN must reach
+#       0.55 x jobs x j1 — near-linear scaling, with headroom for the
+#       shared fingerprint table. A single-core box runs the jN row for
+#       the counter plumbing but skips the speedup assertion.
+BENCH_SS="$BUILD/bench/bench_statespace"
+if [ -x "$BENCH_SS" ]; then
+  (cd "$BUILD/bench" && ./bench_statespace --steal-only >/dev/null)
+  validate_bench "$BUILD/bench/BENCH_statespace_steal.json"
+  NPROC="$(nproc 2>/dev/null || echo 1)"
+  "$PY" - "$BUILD/bench/BENCH_statespace_steal.json" "$NPROC" <<'EOF'
+import json, sys
+path, nproc = sys.argv[1], int(sys.argv[2])
+with open(path) as f:
+    rows = {rec["config"]: rec for rec in json.load(f)}
+j1 = rows["steal_grid_j1"]
+jn = next(rows[k] for k in rows if k != "steal_grid_j1")
+anchor = 1120314.0  # cached_grid_j1, PR 4 (ROADMAP perf anchors)
+assert j1["states_per_sec"] >= 0.80 * anchor, \
+    f"steal_grid j1 throughput {j1['states_per_sec']:.0f} below 0.80x the " \
+    f"cached-grid anchor ({anchor:.0f})"
+if nproc > 1:
+    jobs = jn["jobs"]
+    speedup = jn["states_per_sec"] / j1["states_per_sec"]
+    assert speedup >= 0.55 * jobs, \
+        f"steal_grid j{jobs} speedup {speedup:.2f}x below 0.55 x {jobs}"
+    print(f"ok: steal_grid j1={j1['states_per_sec']:.0f}/s "
+          f"j{jobs} speedup {speedup:.2f}x "
+          f"(steals={jn['steals']}, by-worker={jn['steals_by_worker']})")
+else:
+    print(f"ok: steal_grid j1={j1['states_per_sec']:.0f}/s "
+          f"(single core: speedup gate skipped; "
+          f"pool_fresh={j1['pool_fresh']}, states={j1['states']})")
+EOF
+else
+  echo "warning: $BENCH_SS not built; skipping scheduler gate" >&2
 fi
 
 echo "== explore --stats-json smoke =="

@@ -52,7 +52,13 @@ FootprintAnalysis::FootprintAnalysis(const Module &Mod)
 ObjSet FootprintAnalysis::processFootprint(
     const std::vector<std::pair<int, NodeId>> &Frames) const {
   ObjSet Result(NumObjects);
-  for (const auto &[ProcIdx, Node] : Frames)
-    Result.unionWith(objectsFrom(ProcIdx, Node));
+  processFootprintInto(Frames, Result);
   return Result;
+}
+
+void FootprintAnalysis::processFootprintInto(
+    const std::vector<std::pair<int, NodeId>> &Frames, ObjSet &Out) const {
+  Out.clear();
+  for (const auto &[ProcIdx, Node] : Frames)
+    Out.unionWith(objectsFrom(ProcIdx, Node));
 }

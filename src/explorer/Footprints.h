@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 namespace closer {
@@ -35,11 +36,21 @@ namespace closer {
 /// size-normalize: sets sized for different object counts (in particular a
 /// default-constructed, zero-word set) combine as if the shorter one were
 /// padded with zeros, instead of reading or writing out of bounds.
+///
+/// The word storage is pmr so per-state scratch sets can sit on a worker's
+/// bump arena (the explorer's per-transition footprint queries). Copy
+/// construction deliberately does NOT propagate the resource (pmr's
+/// select_on_container_copy_construction default), so a persistent copy of
+/// an arena-backed scratch set lands on the global heap — safe to outlive
+/// the arena.
 class ObjSet {
 public:
   ObjSet() = default;
-  explicit ObjSet(size_t NumObjects)
-      : Words((NumObjects + 63) / 64, 0) {}
+  explicit ObjSet(std::pmr::memory_resource *MR) : Words(MR) {}
+  explicit ObjSet(size_t NumObjects,
+                  std::pmr::memory_resource *MR =
+                      std::pmr::get_default_resource())
+      : Words((NumObjects + 63) / 64, 0, MR) {}
 
   void set(size_t Index) {
     size_t W = Index / 64;
@@ -80,6 +91,13 @@ public:
     return true;
   }
 
+  /// Clears all bits, keeping the word storage (capacity-reusing reset for
+  /// pooled/arena scratch sets).
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
   /// Content equality: trailing zero words are not distinguishing, so sets
   /// sized for different object counts can still compare equal.
   friend bool operator==(const ObjSet &A, const ObjSet &B) {
@@ -87,7 +105,7 @@ public:
     for (size_t I = 0; I != E; ++I)
       if (A.Words[I] != B.Words[I])
         return false;
-    const std::vector<uint64_t> &Longer =
+    const std::pmr::vector<uint64_t> &Longer =
         A.Words.size() >= B.Words.size() ? A.Words : B.Words;
     for (size_t I = E; I != Longer.size(); ++I)
       if (Longer[I])
@@ -96,7 +114,7 @@ public:
   }
 
 private:
-  std::vector<uint64_t> Words;
+  std::pmr::vector<uint64_t> Words;
 };
 
 class FootprintAnalysis {
@@ -114,6 +132,11 @@ public:
   /// return.
   ObjSet processFootprint(
       const std::vector<std::pair<int, NodeId>> &Frames) const;
+
+  /// Capacity-reusing form: clears \p Out and unions the frame footprints
+  /// into it. \p Out keeps whatever memory resource it was built with.
+  void processFootprintInto(const std::vector<std::pair<int, NodeId>> &Frames,
+                            ObjSet &Out) const;
 
   size_t objectCount() const { return NumObjects; }
 

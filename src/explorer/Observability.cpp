@@ -45,6 +45,10 @@ json::Value closer::statsToJson(const SearchStats &S) {
   O.add("cache_inserts", S.CacheInserts);
   O.add("cache_saturated", S.CacheSaturated);
   O.add("reports_dropped", S.ReportsDropped);
+  O.add("steals", S.Steals);
+  O.add("wakeups", S.Wakeups);
+  O.add("arena_bytes", S.ArenaBytes);
+  O.add("pool_fresh", S.PoolFresh);
   O.add("visible_ops_covered", S.VisibleOpsCovered);
   O.add("visible_ops_total", S.VisibleOpsTotal);
   O.add("completed", S.Completed);

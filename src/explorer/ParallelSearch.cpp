@@ -14,112 +14,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
-#include <deque>
-#include <iterator>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
 
 using namespace closer;
-
-//===----------------------------------------------------------------------===//
-// WorkDeque
-//===----------------------------------------------------------------------===//
-
-/// Mutex-protected deque of work items with starvation signalling and
-/// all-idle termination detection. Workers block in pop(); when every
-/// worker is blocked and the deque is empty, the search tree is exhausted.
-class ParallelExplorer::WorkDeque {
-public:
-  explicit WorkDeque(int Workers) : Workers(Workers) {}
-
-  void push(WorkItem Item) {
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      if (Drained)
-        return;
-      Q.push_back(std::move(Item));
-      Size.store(Q.size(), std::memory_order_relaxed);
-    }
-    CV.notify_one();
-  }
-
-  void pushAll(std::vector<WorkItem> Items) {
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      for (WorkItem &I : Items)
-        Q.push_back(std::move(I));
-      Size.store(Q.size(), std::memory_order_relaxed);
-    }
-    CV.notify_all();
-  }
-
-  /// Blocks until an item is available. Returns false when the run is over:
-  /// stop requested, or every worker idle with nothing queued.
-  bool pop(WorkItem &Out) {
-    std::unique_lock<std::mutex> Lock(M);
-    for (;;) {
-      if (Stopped || Drained)
-        return false;
-      if (!Q.empty()) {
-        Out = std::move(Q.front());
-        Q.pop_front();
-        Size.store(Q.size(), std::memory_order_relaxed);
-        return true;
-      }
-      ++Idle;
-      Starving.store(true, std::memory_order_relaxed);
-      if (Idle == Workers) {
-        // Everyone is waiting on an empty deque: no subtree is left
-        // anywhere, so the exploration is complete.
-        Drained = true;
-        CV.notify_all();
-        return false;
-      }
-      CV.wait(Lock, [&] { return !Q.empty() || Stopped || Drained; });
-      --Idle;
-      Starving.store(Idle > 0, std::memory_order_relaxed);
-    }
-  }
-
-  /// Cheap, lock-free hint for donors. A stale read only delays or adds a
-  /// donation; it never affects which states get explored.
-  bool starving() const { return Starving.load(std::memory_order_relaxed); }
-
-  /// Lock-free queue-length snapshot for the progress monitor; may be
-  /// momentarily stale, which only affects the printed frontier number.
-  size_t size() const { return Size.load(std::memory_order_relaxed); }
-
-  void requestStop() {
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      Stopped = true;
-    }
-    CV.notify_all();
-  }
-
-  /// After the workers have drained: the work items nobody claimed — the
-  /// unexplored subtrees an interrupted run leaves behind.
-  std::vector<WorkItem> drainRemaining() {
-    std::lock_guard<std::mutex> Lock(M);
-    std::vector<WorkItem> Out(std::make_move_iterator(Q.begin()),
-                              std::make_move_iterator(Q.end()));
-    Q.clear();
-    Size.store(0, std::memory_order_relaxed);
-    return Out;
-  }
-
-private:
-  const int Workers;
-  std::mutex M;
-  std::condition_variable CV;
-  std::deque<WorkItem> Q;
-  int Idle = 0;
-  bool Stopped = false;
-  bool Drained = false;
-  std::atomic<bool> Starving{false};
-  std::atomic<size_t> Size{0};
-};
 
 //===----------------------------------------------------------------------===//
 // Monitor
@@ -133,8 +32,8 @@ private:
 class ParallelExplorer::Monitor {
 public:
   Monitor(const SearchOptions &Opts, SharedSearchControl &Control,
-          WorkDeque *Queue)
-      : Opts(Opts), Control(Control), Queue(Queue) {}
+          ExploreScheduler *Sched)
+      : Opts(Opts), Control(Control), Sched(Sched) {}
 
   ~Monitor() { stop(); }
 
@@ -158,7 +57,10 @@ public:
       std::lock_guard<std::mutex> Lock(M);
       Done = true;
     }
-    CV.notify_all();
+    // Exactly one waiter exists — the monitor thread itself — so a
+    // targeted wakeup is all that is needed (no broadcast anywhere on the
+    // shutdown path).
+    CV.notify_one();
     T.join();
   }
 
@@ -171,8 +73,8 @@ private:
   void triggerStop() {
     Interrupted.store(true, std::memory_order_release);
     Control.Stop.store(true, std::memory_order_release);
-    if (Queue)
-      Queue->requestStop();
+    if (Sched)
+      Sched->requestStop(); // Targeted unparks; workers observe Stop.
   }
 
   void emitProgress(double Elapsed, double Dt, uint64_t States,
@@ -203,7 +105,7 @@ private:
         static_cast<double>(Trans - LastTrans) / Dt,
         static_cast<unsigned long long>(
             Control.MaxDepthSeen.load(std::memory_order_relaxed)),
-        Queue ? Queue->size() : static_cast<size_t>(0),
+        Sched ? Sched->queuedHint() : static_cast<size_t>(0),
         static_cast<unsigned long long>(
             Control.Runs.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
@@ -253,7 +155,7 @@ private:
 
   const SearchOptions &Opts;
   SharedSearchControl &Control;
-  WorkDeque *Queue;
+  ExploreScheduler *Sched;
   std::chrono::steady_clock::time_point Begin;
   std::thread T;
   std::mutex M;
@@ -353,11 +255,16 @@ void accumulate(SearchStats &Into, const SearchStats &From) {
   Into.CacheInserts += From.CacheInserts;
   Into.CacheSaturated += From.CacheSaturated;
   Into.ReportsDropped += From.ReportsDropped;
+  Into.Steals += From.Steals;
+  Into.Wakeups += From.Wakeups;
+  Into.ArenaBytes += From.ArenaBytes;
+  Into.PoolFresh += From.PoolFresh;
 }
 
 } // namespace
 
-bool ParallelExplorer::donateOne(Explorer &Ex, WorkDeque &Queue) {
+bool ParallelExplorer::donateOne(Explorer &Ex, ExploreScheduler &Sched,
+                                 int W) {
   // Donate from the highest (closest to the work-item root) decision with
   // untried siblings: that is the largest parcel of remaining work, which
   // is what keeps skewed trees balanced. The donated option is taken from
@@ -395,23 +302,28 @@ bool ParallelExplorer::donateOne(Explorer &Ex, WorkDeque &Queue) {
       break;
     }
     ++D.DonatedTail;
-    Queue.push(std::move(Item));
+    // The parcel goes to the donor's own deque (a thief steals it from the
+    // top) and exactly one parked worker is woken. A donation racing a
+    // stop still lands on the deque: workers exit without claiming it, and
+    // drainRemaining() hands it to the resume-prefix collector — the
+    // subtree is reported as abandoned, never silently lost.
+    Sched.donate(W, std::move(Item));
     return true;
   }
   return false;
 }
 
-void ParallelExplorer::driveExplorer(Explorer &Ex, WorkDeque *Queue) {
-  // Donation backoff: under state caching a donated subtree often turns
-  // out to be already-cached territory — the receiver prunes it within a
-  // run or two and starves again, and an unthrottled donor then sheds a
-  // parcel every few backtracks. Each donation costs a snapshot copy and
-  // a queue round-trip (condvar wake, context switch), which dominates
-  // the wall clock on donation-heavy runs. Requiring a stretch of local
-  // backtracks between donations bounds that churn while still serving a
-  // genuinely starved sibling within milliseconds.
-  constexpr uint64_t DonateBackoff = 512;
-  uint64_t SinceDonate = DonateBackoff;
+void ParallelExplorer::driveExplorer(Explorer &Ex, ExploreScheduler *Sched,
+                                     int W) {
+  // Donation throttling is demand-driven (Scheduler::wantDonation): a
+  // parcel is shed only while more workers are parked than parcels are
+  // queued. This supersedes the fixed DonateBackoff counter the old shared
+  // work queue needed — that constant existed because every donation paid
+  // a mutex round-trip and a broadcast wakeup, so donors had to ration
+  // blindly. A donation now costs one lock-free deque push and at most one
+  // targeted unpark, and the throttle reacts to actual demand: zero
+  // donations while everyone is busy, immediate ones when a sibling
+  // starves, with no tuning knob to mis-set.
   for (;;) {
     bool Continue = Ex.runOnce();
     ++Ex.Stats.Runs;
@@ -428,28 +340,37 @@ void ParallelExplorer::driveExplorer(Explorer &Ex, WorkDeque *Queue) {
     }
     if (!Ex.backtrack())
       return;
-    ++SinceDonate;
-    if (Queue && SinceDonate >= DonateBackoff && Queue->starving() &&
-        donateOne(Ex, *Queue))
-      SinceDonate = 0;
+    if (Sched && Sched->wantDonation())
+      donateOne(Ex, *Sched, W);
   }
 }
 
-void ParallelExplorer::workerMain(Explorer &Ex, WorkDeque &Queue) {
+void ParallelExplorer::workerMain(Explorer &Ex, ExploreScheduler &Sched,
+                                  int W) {
   WorkItem Item;
-  while (Queue.pop(Item)) {
+  while (Sched.next(W, Item)) {
     if (Item.HasSnap)
       Ex.beginSubtree(std::move(Item.Prefix), Item.FreshFrom,
                       std::move(Item.Snap), Item.SnapCursor,
                       std::move(Item.SnapSleep));
     else
       Ex.beginSubtree(std::move(Item.Prefix), Item.FreshFrom);
-    driveExplorer(Ex, &Queue);
+    driveExplorer(Ex, &Sched, W);
+    // The parcel is retired whether its subtree was exhausted or abandoned
+    // under a stop; the last retirement declares the run drained.
+    Sched.finishItem();
     if (Ex.stopRequested()) {
-      Queue.requestStop();
-      return;
+      Sched.requestStop();
+      break;
     }
   }
+  // Scheduler traffic and allocator counters become part of this worker's
+  // stats (and of the merged totals). Both are owner-written, so reading
+  // them on the worker's own thread is race-free.
+  const sched::WorkerCounters &C = Sched.counters(W);
+  Ex.Stats.Steals = C.Steals;
+  Ex.Stats.Wakeups = C.Wakeups;
+  Ex.syncAllocStats();
 }
 
 void ParallelExplorer::mergeResults(const std::vector<Explorer *> &Parts) {
@@ -571,11 +492,11 @@ SearchStats ParallelExplorer::run() {
   Control.resetCounters();
 
   const int Jobs = static_cast<int>(Options.Jobs);
-  // The deque and monitor exist for the whole run — including the
+  // The scheduler and monitor exist for the whole run — including the
   // sequential seeding phase, which a time budget or Ctrl-C must also be
   // able to interrupt.
-  WorkDeque Queue(Jobs);
-  Monitor Mon(Options, Control, &Queue);
+  ExploreScheduler Sched(Jobs);
+  Monitor Mon(Options, Control, &Sched);
   Mon.start();
 
   // Phase 1 — sequential seeding: expand the tree to the split depth,
@@ -595,20 +516,23 @@ SearchStats ParallelExplorer::run() {
   Seeder.Shared = &Control;
   Seeder.FrontierSink = &Frontier;
   Seeder.FrontierDepth = SplitDepth;
-  driveExplorer(Seeder, nullptr);
+  driveExplorer(Seeder, nullptr, 0);
   Seeder.FrontierSink = nullptr;
+  Seeder.syncAllocStats();
 
-  // Phase 2 — parallel subtree exhaustion with work sharing.
+  // Phase 2 — parallel subtree exhaustion with work stealing. The frontier
+  // is dealt round-robin across the per-worker deques before any worker
+  // thread starts, so everyone begins with local work and stealing only
+  // kicks in once the initial shares go uneven.
   {
-    std::vector<WorkItem> Items;
-    Items.reserve(Frontier.size());
+    int Target = 0;
     for (std::vector<ReplayStep> &Prefix : Frontier) {
       WorkItem Item;
       Item.FreshFrom = Prefix.size(); // Replay of the prefix is never fresh.
       Item.Prefix = std::move(Prefix);
-      Items.push_back(std::move(Item));
+      Sched.seed(Target, std::move(Item));
+      Target = (Target + 1) % Jobs;
     }
-    Queue.pushAll(std::move(Items));
   }
 
   std::vector<std::unique_ptr<Explorer>> Workers;
@@ -620,15 +544,15 @@ SearchStats ParallelExplorer::run() {
   }
 
   if (Control.Stop.load(std::memory_order_acquire))
-    Queue.requestStop(); // Budget/first error already hit while seeding.
+    Sched.requestStop(); // Budget/first error already hit while seeding.
 
   {
     std::vector<std::thread> Threads;
     Threads.reserve(static_cast<size_t>(Jobs));
     for (int W = 0; W != Jobs; ++W)
       Threads.emplace_back(
-          [this, &Queue, Ex = Workers[static_cast<size_t>(W)].get()] {
-            workerMain(*Ex, Queue);
+          [this, &Sched, W, Ex = Workers[static_cast<size_t>(W)].get()] {
+            workerMain(*Ex, Sched, W);
           });
     for (std::thread &T : Threads)
       T.join();
@@ -648,7 +572,7 @@ SearchStats ParallelExplorer::run() {
     std::vector<std::vector<ReplayStep>> InFlight;
     for (Explorer *Ex : Parts)
       InFlight.push_back(std::move(Ex->LastInFlight));
-    collectResume(std::move(InFlight), Queue.drainRemaining());
+    collectResume(std::move(InFlight), Sched.drainRemaining());
   }
   return Stats;
 }
@@ -660,9 +584,15 @@ SearchStats ParallelExplorer::run() {
 SearchResult closer::explore(const Module &Mod, const SearchOptions &Options) {
   SearchOptions Opts = Options;
   // Normalize before constructing the backend so the options recorded in
-  // the result describe the search that actually ran.
-  if (Opts.Jobs == 0)
-    Opts.Jobs = 1;
+  // the result describe the search that actually ran. Jobs == 0 means one
+  // worker per hardware thread; the resolved count lands in
+  // SearchResult::Options (and from there in the stats-json artifact).
+  if (Opts.Jobs == 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    Opts.Jobs = HW ? HW : 1;
+    if (Opts.Jobs > 1024)
+      Opts.Jobs = 1024; // validate()'s ceiling; absurd HW reports exist.
+  }
   if (Opts.stateCacheEnabled()) {
     Opts.UseSleepSets = false; // Unsound with a cross-path visited cache.
     // Fold the deprecated boolean alias into the explicit bit count.

@@ -12,12 +12,16 @@
 /// owning a private System replaying from the initial state.
 ///
 ///  * a sequential seeding pass expands the search tree to a split depth
-///    and pushes the frontier prefixes onto a shared work deque;
-///  * N workers claim prefixes and run the ordinary bounded DFS below
-///    them, pinned so backtracking never escapes the claimed subtree;
-///  * when the deque runs dry, busy workers donate the highest unexplored
-///    sibling prefix of their current path back to the deque, so load
-///    stays balanced on skewed trees;
+///    and seeds the frontier prefixes round-robin across per-worker
+///    work-stealing deques (sched/Scheduler.h);
+///  * N workers claim prefixes — own deque first, then stealing — and run
+///    the ordinary bounded DFS below them, pinned so backtracking never
+///    escapes the claimed subtree;
+///  * an idle worker parks on a wait node after its steal sweep fails;
+///    busy workers donate the highest unexplored sibling prefix of their
+///    current path whenever more workers are parked than parcels are
+///    queued, each donation waking exactly one sleeper, so load stays
+///    balanced on skewed trees without broadcast wakeups;
 ///  * the MaxRuns/MaxStates budgets and the StopOnFirstError stop flag
 ///    live in shared atomics consulted at every replay step;
 ///  * per-worker SearchStats are merged at exit, and ErrorReports are
@@ -45,6 +49,7 @@
 #define CLOSER_EXPLORER_PARALLELSEARCH_H
 
 #include "explorer/Search.h"
+#include "sched/Scheduler.h"
 
 #include <memory>
 #include <vector>
@@ -108,15 +113,21 @@ private:
     SystemSnapshot Snap;
   };
 
-  class WorkDeque;
+  /// The scheduler instantiation this explorer runs on: per-worker
+  /// Chase–Lev deques of WorkItems plus a parking lot for idle workers.
+  using ExploreScheduler = sched::Scheduler<WorkItem>;
+
   class Monitor;
 
   /// Exhausts the explorer's current (sub)tree: runOnce/backtrack loop
-  /// with shared-budget accounting, donating work when the deque starves.
-  void driveExplorer(Explorer &Ex, WorkDeque *Queue);
-  void workerMain(Explorer &Ex, WorkDeque &Queue);
-  /// Moves one unexplored sibling subtree from Ex's path to the deque.
-  static bool donateOne(Explorer &Ex, WorkDeque &Queue);
+  /// with shared-budget accounting, donating work while workers starve.
+  /// \p Sched is null for the sequential seeding pass; \p W is the calling
+  /// worker's scheduler index.
+  void driveExplorer(Explorer &Ex, ExploreScheduler *Sched, int W);
+  void workerMain(Explorer &Ex, ExploreScheduler &Sched, int W);
+  /// Moves one unexplored sibling subtree from Ex's path to worker \p W's
+  /// deque (whence an idle worker steals it).
+  static bool donateOne(Explorer &Ex, ExploreScheduler &Sched, int W);
   /// The replay step selecting option \p Option of decision \p D.
   static ReplayStep stepFor(const Explorer::Decision &D, size_t Option);
   void mergeResults(const std::vector<Explorer *> &Parts);

@@ -39,6 +39,14 @@ std::string SearchStats::str() const {
     Out += " cache-inserts=" + std::to_string(CacheInserts);
     Out += " cache-saturated=" + std::to_string(CacheSaturated);
   }
+  if (Steals || Wakeups) {
+    Out += " steals=" + std::to_string(Steals);
+    Out += " wakeups=" + std::to_string(Wakeups);
+  }
+  if (ArenaBytes || PoolFresh) {
+    Out += " arena-bytes=" + std::to_string(ArenaBytes);
+    Out += " pool-fresh=" + std::to_string(PoolFresh);
+  }
   if (ReportsDropped)
     Out += " reports-dropped=" + std::to_string(ReportsDropped);
   if (VisibleOpsTotal)
@@ -65,8 +73,9 @@ std::vector<Diagnostic> SearchOptions::validate() const {
   if (MaxDepth == 0 || MaxDepth > Absurd)
     Error("search depth must be between 1 and 2^40 (was a negative value "
           "passed?)");
-  if (Jobs == 0 || Jobs > 1024)
-    Error("jobs must be between 1 and 1024");
+  if (Jobs > 1024)
+    Error("jobs must be between 1 and 1024, or 0 for one per hardware "
+          "thread");
   if (SplitDepth > Absurd)
     Error("split depth is out of range (was a negative value passed?)");
   if (CheckpointInterval > Absurd)
@@ -233,64 +242,89 @@ std::vector<ReplayStep> Explorer::currentChoices() const {
 /// Persistent-set computation: processes are partitioned into components of
 /// the "remaining footprints intersect" relation; any single component is a
 /// persistent set (no outside process can ever interact with it again).
-/// The component with the fewest enabled members is chosen.
-std::vector<int>
-Explorer::schedCandidates(const std::vector<int> &Enabled,
-                          const std::vector<int> &Sleep,
-                          const std::vector<int> & /*SleepObjs*/) {
-  std::vector<int> Base;
+/// The component with the fewest enabled members is chosen. Runs once per
+/// expanded state, entirely on member scratch: the footprint bitsets live
+/// on the per-explorer arena and the index vectors keep their capacity
+/// across calls, so the steady state allocates nothing here.
+void Explorer::schedCandidatesInto(const std::vector<int> &Enabled,
+                                   const std::vector<int> &Sleep,
+                                   const std::vector<int> & /*SleepObjs*/,
+                                   std::vector<int> &Out) {
+  Out.clear();
   if (Options.UsePersistentSets && Sys.processCount() > 1) {
     int N = Sys.processCount();
-    std::vector<ObjSet> Fp;
-    Fp.reserve(N);
-    for (int P = 0; P != N; ++P)
-      Fp.push_back(Footprints.processFootprint(Sys.frameStack(P)));
+    if (FpBuf.size() != static_cast<size_t>(N)) {
+      FpBuf.clear();
+      FpBuf.reserve(static_cast<size_t>(N));
+      for (int P = 0; P != N; ++P)
+        FpBuf.emplace_back(Footprints.objectCount(), &FpArena);
+    }
+    for (int P = 0; P != N; ++P) {
+      Sys.frameStackInto(P, FrameBuf);
+      Footprints.processFootprintInto(FrameBuf, FpBuf[P]);
+    }
 
-    std::vector<int> Comp(N);
-    std::iota(Comp.begin(), Comp.end(), 0);
-    std::function<int(int)> Find = [&](int X) {
-      while (Comp[X] != X) {
-        Comp[X] = Comp[Comp[X]];
-        X = Comp[X];
+    CompBuf.resize(static_cast<size_t>(N));
+    std::iota(CompBuf.begin(), CompBuf.end(), 0);
+    auto Find = [this](int X) {
+      while (CompBuf[X] != X) {
+        CompBuf[X] = CompBuf[CompBuf[X]];
+        X = CompBuf[X];
       }
       return X;
     };
     for (int A = 0; A != N; ++A)
       for (int B = A + 1; B != N; ++B)
-        if (Fp[A].intersects(Fp[B])) {
+        if (FpBuf[A].intersects(FpBuf[B])) {
           int Ra = Find(A), Rb = Find(B);
           if (Ra != Rb)
-            Comp[Rb] = Ra;
+            CompBuf[Rb] = Ra;
         }
 
     // Pick the component with the fewest enabled processes (ties: the one
     // containing the smallest process id) — a deterministic choice made
     // independently of the sleep set, as the classic combination requires.
-    std::vector<int> BestMembers;
+    // Enabled is ascending, so the first member of a component's
+    // restriction to Enabled is also its smallest.
+    int BestRoot = -1;
+    size_t BestCount = 0;
+    int BestFront = 0;
     for (int Seed : Enabled) {
       int Root = Find(Seed);
-      std::vector<int> Members;
+      size_t Count = 0;
+      int Front = -1;
       for (int Q : Enabled)
-        if (Find(Q) == Root)
-          Members.push_back(Q);
-      if (BestMembers.empty() || Members.size() < BestMembers.size() ||
-          (Members.size() == BestMembers.size() &&
-           Members.front() < BestMembers.front()))
-        BestMembers = std::move(Members);
+        if (Find(Q) == Root) {
+          if (Front < 0)
+            Front = Q;
+          ++Count;
+        }
+      if (BestRoot < 0 || Count < BestCount ||
+          (Count == BestCount && Front < BestFront)) {
+        BestRoot = Root;
+        BestCount = Count;
+        BestFront = Front;
+      }
     }
-    Base = std::move(BestMembers);
+    for (int Q : Enabled)
+      if (Find(Q) == BestRoot)
+        Out.push_back(Q);
   } else {
-    Base = Enabled;
+    Out.assign(Enabled.begin(), Enabled.end());
   }
 
-  if (Options.UseSleepSets) {
-    std::vector<int> Awake;
-    for (int P : Base)
-      if (std::find(Sleep.begin(), Sleep.end(), P) == Sleep.end())
-        Awake.push_back(P);
-    return Awake;
-  }
-  return Base;
+  if (Options.UseSleepSets)
+    Out.erase(std::remove_if(Out.begin(), Out.end(),
+                             [&Sleep](int P) {
+                               return std::find(Sleep.begin(), Sleep.end(),
+                                                P) != Sleep.end();
+                             }),
+              Out.end());
+}
+
+void Explorer::syncAllocStats() {
+  Stats.ArenaBytes = FpArena.bytesFromUpstream();
+  Stats.PoolFresh = IntPool.fresh() + SnapPool.fresh();
 }
 
 void Explorer::beginSubtree(std::vector<ReplayStep> Prefix, size_t FreshFrom,
@@ -348,7 +382,11 @@ bool Explorer::runOnce() {
   }
   PathProvider Provider(*this, FreshFrom, FreshMode);
 
-  std::vector<int> CurSleep;
+  // Sleep-set scratch: member buffers so the per-state vectors keep their
+  // capacity across paths (and runs).
+  std::vector<int> &CurSleep = SleepCurBuf;
+  std::vector<int> &NewSleep = SleepNextBuf;
+  CurSleep.clear();
 
   auto HandleExec = [&](const ExecResult &R) {
     if (FreshMode) {
@@ -395,8 +433,10 @@ bool Explorer::runOnce() {
   // resumes there and runs only the suffix. Checkpoints never sit at cursor
   // 0, so a fresh path (which must report initialization errors) always
   // takes the reset branch.
-  while (!Ckpts.empty() && Ckpts.back().Cursor >= Path.size())
+  while (!Ckpts.empty() && Ckpts.back().Cursor >= Path.size()) {
+    releaseCheckpoint(Ckpts.back());
     Ckpts.pop_back();
+  }
   if (!Ckpts.empty()) {
     const Checkpoint &C = Ckpts.back();
     Sys.restore(C.Snap);
@@ -433,7 +473,8 @@ bool Explorer::runOnce() {
       return false;
     }
     bool AtPathEnd = Cursor >= Path.size();
-    std::vector<int> Enabled = Sys.enabledProcesses();
+    Sys.enabledProcessesInto(EnabledBuf);
+    const std::vector<int> &Enabled = EnabledBuf;
 
     if (AtPathEnd && SeedCursor < SeedPrefix.size()) {
       // Work-item prefix reconstruction: rebuild the scheduling Decision
@@ -444,8 +485,10 @@ bool Explorer::runOnce() {
              "work-item prefix diverged: expected a scheduling step");
       Decision D;
       D.K = Decision::Kind::Sched;
-      D.Procs = schedCandidates(Enabled, CurSleep, {});
-      D.Sleep = CurSleep;
+      D.Procs = IntPool.acquire();
+      schedCandidatesInto(Enabled, CurSleep, {}, D.Procs);
+      D.Sleep = IntPool.acquire();
+      D.Sleep.assign(CurSleep.begin(), CurSleep.end());
       auto It = std::find(D.Procs.begin(), D.Procs.end(),
                           static_cast<int>(S.Value));
       assert(It != D.Procs.end() &&
@@ -530,16 +573,18 @@ bool Explorer::runOnce() {
         RecordLeafTrace();
         return true;
       }
-      std::vector<int> Candidates = schedCandidates(Enabled, CurSleep, {});
-      if (Candidates.empty()) {
+      schedCandidatesInto(Enabled, CurSleep, {}, CandBuf);
+      if (CandBuf.empty()) {
         ++Stats.SleepSetPrunes;
         RecordLeafTrace();
         return true;
       }
       Decision D;
       D.K = Decision::Kind::Sched;
-      D.Procs = std::move(Candidates);
-      D.Sleep = CurSleep;
+      D.Procs = IntPool.acquire();
+      D.Procs.assign(CandBuf.begin(), CandBuf.end());
+      D.Sleep = IntPool.acquire();
+      D.Sleep.assign(CurSleep.begin(), CurSleep.end());
       D.Chosen = 0;
       Path.push_back(std::move(D));
     } else if (Enabled.empty() || Sys.depth() >= Options.MaxDepth) {
@@ -561,7 +606,7 @@ bool Explorer::runOnce() {
     // Sleep-set propagation: processes already covered stay asleep across
     // independent transitions; earlier siblings of this decision go to
     // sleep in this subtree.
-    std::vector<int> NewSleep;
+    NewSleep.clear();
     int ChosenObj = Sys.currentVisibleObject(Chosen);
     auto Independent = [&](int Q) {
       int QObj = Sys.currentVisibleObject(Q);
@@ -578,10 +623,11 @@ bool Explorer::runOnce() {
     }
 
     if (Options.TrackCoverage) {
-      std::vector<std::pair<int, NodeId>> FS = Sys.frameStack(Chosen);
-      if (!FS.empty())
-        CoveredOps.insert((static_cast<uint64_t>(FS.back().first) << 32) |
-                          FS.back().second);
+      Sys.frameStackInto(Chosen, FrameBuf);
+      if (!FrameBuf.empty())
+        CoveredOps.insert(
+            (static_cast<uint64_t>(FrameBuf.back().first) << 32) |
+            FrameBuf.back().second);
     }
     ExecResult R = Sys.executeTransition(Chosen, Provider);
     ++Stats.Transitions;
@@ -594,7 +640,7 @@ bool Explorer::runOnce() {
     HandleExec(R);
     if (stopRequested())
       return false;
-    CurSleep = std::move(NewSleep);
+    CurSleep.swap(NewSleep);
   }
 }
 
@@ -613,13 +659,40 @@ void Explorer::maybeCheckpoint(const std::vector<int> &CurSleep) {
     return;
   Checkpoint C;
   C.Cursor = Cursor;
-  C.Sleep = CurSleep;
+  C.Sleep = IntPool.acquire();
+  C.Sleep.assign(CurSleep.begin(), CurSleep.end());
   // Light flavor: checkpoints live and die on this explorer's own DFS
   // path, so the O(depth) event trace is rewound by truncation instead of
   // being copied in and out (donateOne materializes a full copy on the
   // rare occasion a checkpoint leaves this path inside a work item).
-  C.Snap = Sys.snapshotLight();
+  // Snapshotting into a pooled snapshot reuses its buffers element-wise.
+  C.Snap = SnapPool.acquire();
+  Sys.snapshotLightInto(C.Snap);
   Ckpts.push_back(std::move(C));
+}
+
+void Explorer::releaseDecision(Decision &D) {
+  if (D.K == Decision::Kind::Sched) {
+    IntPool.release(std::move(D.Procs));
+    IntPool.release(std::move(D.Sleep));
+  }
+}
+
+void Explorer::releaseCheckpoint(Checkpoint &C) {
+  IntPool.release(std::move(C.Sleep));
+  SnapPool.release(std::move(C.Snap));
+}
+
+void Explorer::clearPath() {
+  for (Decision &D : Path)
+    releaseDecision(D);
+  Path.clear();
+}
+
+void Explorer::clearCkpts() {
+  for (Checkpoint &C : Ckpts)
+    releaseCheckpoint(C);
+  Ckpts.clear();
 }
 
 bool Explorer::backtrack() {
@@ -632,6 +705,7 @@ bool Explorer::backtrack() {
       ++D.Chosen;
       return true;
     }
+    releaseDecision(D);
     Path.pop_back();
   }
   return false;
@@ -655,9 +729,9 @@ SearchStats Explorer::run() {
     }
   }
   CoveredOps.clear();
-  Path.clear();
+  clearPath();
   Cursor = 0;
-  Ckpts.clear();
+  clearCkpts();
   StopFlag = false;
   LastInFlight.clear();
   Floor = 0;
@@ -689,6 +763,7 @@ SearchStats Explorer::run() {
         Stats.VisibleOpsTotal += Node.isVisibleOp();
     Stats.VisibleOpsCovered = CoveredOps.size();
   }
+  syncAllocStats();
   return Stats;
 }
 

@@ -39,6 +39,7 @@
 #include "explorer/Replay.h"
 #include "explorer/StateCache.h"
 #include "runtime/System.h"
+#include "support/Arena.h"
 #include "support/Diagnostics.h"
 
 #include <atomic>
@@ -96,7 +97,9 @@ struct SearchOptions {
   /// — a test-adequacy metric for the paper's "lightweight testing
   /// platform" use (§6).
   bool TrackCoverage = true;
-  /// Worker threads for ParallelExplorer (1 = plain sequential search).
+  /// Worker threads for ParallelExplorer (1 = plain sequential search;
+  /// 0 = auto: explore() resolves it to the hardware concurrency and
+  /// records the resolved count in SearchResult::Options).
   size_t Jobs = 1;
   /// Number of decisions the sequential seeding pass expands before
   /// handing subtrees to workers (0 = derive from Jobs). Only read by
@@ -222,6 +225,19 @@ struct SearchStats {
   /// module (0/0 when coverage tracking is off).
   uint64_t VisibleOpsCovered = 0;
   uint64_t VisibleOpsTotal = 0;
+  // Scheduler and allocator traffic (all zero for sequential, non-pooled
+  // runs). Not tree-shaped: these vary run to run with thread timing, so
+  // str() prints them only when nonzero and the equivalence tests exclude
+  // them.
+  /// Work items this worker stole from another worker's deque.
+  uint64_t Steals = 0;
+  /// Targeted wakeups this worker received while parked.
+  uint64_t Wakeups = 0;
+  /// Bytes the worker's footprint arena drew from the global heap.
+  uint64_t ArenaBytes = 0;
+  /// Pool misses (fresh allocations) across the worker's object pools —
+  /// bounded by the DFS-stack high-water mark, not the state count.
+  uint64_t PoolFresh = 0;
   bool Completed = false; ///< Search exhausted the (bounded) tree.
   /// Stop came from outside the search itself — the wall-clock budget or
   /// an external flag (SIGINT) — rather than from completion or a
@@ -352,9 +368,22 @@ private:
   /// interval (or a worker's pinned prefix) calls for it.
   void maybeCheckpoint(const std::vector<int> &CurSleep);
   std::vector<ReplayStep> currentChoices() const;
-  std::vector<int> schedCandidates(const std::vector<int> &Enabled,
-                                   const std::vector<int> &Sleep,
-                                   const std::vector<int> &SleepObjs);
+  /// Persistent-set candidate selection; overwrites \p Out (which is pool
+  /// or scratch storage on the hot path).
+  void schedCandidatesInto(const std::vector<int> &Enabled,
+                           const std::vector<int> &Sleep,
+                           const std::vector<int> &SleepObjs,
+                           std::vector<int> &Out);
+  /// Copies the allocator counters (arena bytes, pool misses) into Stats.
+  /// Called at the end of run() and by ParallelExplorer after each worker
+  /// finishes.
+  void syncAllocStats();
+  // Pool recycling for path/checkpoint storage; popping without releasing
+  // is only a missed reuse, never a leak.
+  void releaseDecision(Decision &D);
+  void releaseCheckpoint(Checkpoint &C);
+  void clearPath();
+  void clearCkpts();
   void report(ErrorReport R);
   bool stopRequested() const {
     return StopFlag ||
@@ -373,9 +402,9 @@ private:
   /// then never pops below the prefix. Stats/Reports accumulate across
   /// successive subtrees.
   void beginSubtree(std::vector<ReplayStep> Prefix, size_t FreshFrom) {
-    Path.clear();
+    clearPath();
     Cursor = 0;
-    Ckpts.clear(); // Snapshots index into the abandoned path.
+    clearCkpts(); // Snapshots index into the abandoned path.
     LastInFlight.clear();
     Floor = Prefix.size();
     SeedPrefix = std::move(Prefix);
@@ -449,6 +478,33 @@ private:
   size_t FrontierDepth = 0;
   /// Shared budgets/stop flag when part of a parallel run.
   SharedSearchControl *Shared = nullptr;
+
+  // Hot-path allocation recycling (support/Arena.h). All per-explorer and
+  // single-threaded: in a parallel run each worker's Explorer owns its own
+  // arena and pools, so the steady state touches no shared allocator at
+  // all. Pool misses are bounded by the DFS-stack high-water mark; the
+  // arena stops growing once the deepest path has been visited.
+  /// Recycles Decision::Procs/Sleep/SleepObjs and Checkpoint::Sleep.
+  support::VectorPool<int> IntPool;
+  /// Recycles checkpoint snapshots: restoring content into a pooled
+  /// snapshot reuses its process/comm/trace buffers.
+  support::ObjectPool<SystemSnapshot> SnapPool;
+  /// Backs the per-transition footprint scratch bitsets (FpBuf).
+  support::Arena FpArena;
+  // Per-transition scratch, reused across every state expansion.
+  std::vector<int> EnabledBuf;
+  std::vector<std::pair<int, NodeId>> FrameBuf;
+  /// One footprint per process, words on FpArena; sized once per run.
+  std::vector<ObjSet> FpBuf;
+  /// Union-find and selection scratch for schedCandidatesInto.
+  std::vector<int> CompBuf;
+  std::vector<int> BestMembersBuf;
+  /// Current/next sleep-set scratch for the runOnce descent loop.
+  std::vector<int> SleepCurBuf;
+  std::vector<int> SleepObjsCurBuf;
+  std::vector<int> SleepNextBuf;
+  std::vector<int> SleepObjsNextBuf;
+  std::vector<int> CandBuf;
 
   friend class ParallelExplorer;
 };

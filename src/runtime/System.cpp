@@ -106,36 +106,58 @@ void System::buildResolutionCaches() {
 
 SystemSnapshot System::snapshot() const {
   SystemSnapshot S;
+  snapshotInto(S);
+  return S;
+}
+
+SystemSnapshot System::snapshotLight() const {
+  SystemSnapshot S;
+  snapshotLightInto(S);
+  return S;
+}
+
+SystemSnapshot System::materializeTrace(const SystemSnapshot &Light) const {
+  SystemSnapshot S;
+  materializeTraceInto(Light, S);
+  return S;
+}
+
+void System::snapshotInto(SystemSnapshot &S) const {
+  // Copy-assignment into a recycled snapshot reuses the nested vectors'
+  // capacity element-wise; this is the whole point of the Into form.
   S.Processes = Processes;
   S.Comms = Comms;
   S.EventTrace = EventTrace;
   S.TraceLen = EventTrace.size();
   S.HasTrace = true;
   S.NumTransitions = NumTransitions;
-  return S;
 }
 
-SystemSnapshot System::snapshotLight() const {
-  SystemSnapshot S;
+void System::snapshotLightInto(SystemSnapshot &S) const {
   S.Processes = Processes;
   S.Comms = Comms;
+  S.EventTrace.clear(); // Keeps capacity; a light snapshot carries no trace.
   S.TraceLen = EventTrace.size();
   S.HasTrace = false;
   S.NumTransitions = NumTransitions;
-  return S;
 }
 
-SystemSnapshot System::materializeTrace(const SystemSnapshot &Light) const {
-  SystemSnapshot S = Light;
-  if (!S.HasTrace) {
-    assert(EventTrace.size() >= S.TraceLen &&
+void System::materializeTraceInto(const SystemSnapshot &Light,
+                                  SystemSnapshot &Out) const {
+  Out.Processes = Light.Processes;
+  Out.Comms = Light.Comms;
+  Out.TraceLen = Light.TraceLen;
+  Out.NumTransitions = Light.NumTransitions;
+  if (Light.HasTrace) {
+    Out.EventTrace = Light.EventTrace;
+  } else {
+    assert(EventTrace.size() >= Light.TraceLen &&
            "light snapshot outlived its capture path");
-    S.EventTrace.assign(EventTrace.begin(),
-                        EventTrace.begin() +
-                            static_cast<ptrdiff_t>(S.TraceLen));
-    S.HasTrace = true;
+    Out.EventTrace.assign(EventTrace.begin(),
+                          EventTrace.begin() +
+                              static_cast<ptrdiff_t>(Light.TraceLen));
   }
-  return S;
+  Out.HasTrace = true;
 }
 
 void System::restore(const SystemSnapshot &S) {
@@ -941,10 +963,15 @@ bool System::processEnabled(int P) const {
 
 std::vector<int> System::enabledProcesses() const {
   std::vector<int> Result;
+  enabledProcessesInto(Result);
+  return Result;
+}
+
+void System::enabledProcessesInto(std::vector<int> &Out) const {
+  Out.clear();
   for (int P = 0, E = processCount(); P != E; ++P)
     if (processEnabled(P))
-      Result.push_back(P);
-  return Result;
+      Out.push_back(P);
 }
 
 GlobalStateKind System::classify() const {
@@ -1084,9 +1111,15 @@ ExecResult System::interpTransition(int PIdx, ChoiceProvider &Provider) {
 
 std::vector<std::pair<int, NodeId>> System::frameStack(int P) const {
   std::vector<std::pair<int, NodeId>> Out;
+  frameStackInto(P, Out);
+  return Out;
+}
+
+void System::frameStackInto(int P,
+                            std::vector<std::pair<int, NodeId>> &Out) const {
+  Out.clear();
   for (const Frame &F : Processes[P].Frames)
     Out.push_back({F.ProcIdx, F.PC});
-  return Out;
 }
 
 namespace {

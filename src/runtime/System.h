@@ -183,6 +183,11 @@ public:
   /// Indices of all enabled processes.
   std::vector<int> enabledProcesses() const;
 
+  /// Overwrites \p Out with the enabled-process indices. The hot-path form:
+  /// a recycled vector keeps its capacity, so a steady-state search never
+  /// allocates here.
+  void enabledProcessesInto(std::vector<int> &Out) const;
+
   GlobalStateKind classify() const;
 
   /// Executes one process transition of \p P (which must be enabled):
@@ -231,6 +236,16 @@ public:
   /// then the live trace's prefix is exactly the trace at capture time.
   SystemSnapshot materializeTrace(const SystemSnapshot &Light) const;
 
+  /// In-place variants of the three capture operations above. They
+  /// overwrite \p S instead of building a fresh snapshot, so a pooled
+  /// (recycled) snapshot's process/comm/trace buffers are reused by
+  /// element-wise copy assignment — the steady-state checkpointing path
+  /// allocates nothing. Semantically identical to the by-value forms.
+  void snapshotInto(SystemSnapshot &S) const;
+  void snapshotLightInto(SystemSnapshot &S) const;
+  void materializeTraceInto(const SystemSnapshot &Light,
+                            SystemSnapshot &Out) const;
+
   /// Restores the state captured by snapshot(). The snapshot must come
   /// from a System bound to the same Module (any instance for full
   /// snapshots; the capturing instance, still on the capture path, for
@@ -252,6 +267,10 @@ public:
   /// The frame stack of process \p P as (procedure index, node id) pairs,
   /// outermost first — the input to the static footprint analysis.
   std::vector<std::pair<int, NodeId>> frameStack(int P) const;
+
+  /// Overwrites \p Out with process \p P's frame stack (capacity-reusing
+  /// hot-path form of frameStack()).
+  void frameStackInto(int P, std::vector<std::pair<int, NodeId>> &Out) const;
 
   /// 64-bit FNV-1a fingerprint of the full global state (process control
   /// points, stores, communication objects). Used by the state-hashing

@@ -1,0 +1,169 @@
+//===- ChaseLev.h - Lock-free work-stealing deque --------------*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Chase–Lev work-stealing deque [Chase & Lev, SPAA'05] of raw pointers.
+/// One designated owner thread pushes and pops at the bottom (LIFO, so the
+/// owner keeps working on the hottest subtree); any number of thief threads
+/// steal from the top (FIFO, so thieves take the largest, coldest parcels)
+/// with a single compare-and-swap.
+///
+/// Invariants:
+///  * Top <= Bottom at every quiescent point; Bottom - Top is the size.
+///  * Only the owner writes Bottom and slots; only a successful CAS on Top
+///    removes an element from the top. The CAS is what makes the
+///    owner-vs-thief race for the last element safe: exactly one side wins.
+///  * The circular buffer only grows (never shrinks); retired buffers stay
+///    alive until the deque is destroyed, so a stale thief that still holds
+///    an old buffer pointer reads valid (if outdated) memory — its CAS then
+///    fails and the read value is discarded. This sidesteps reclamation
+///    without hazard pointers; growth is rare (seed items only) and the
+///    memory held is a few pointers per retired generation.
+///
+/// This implementation deliberately uses sequentially consistent atomics on
+/// Top and Bottom instead of the fence-optimized formulation from "Correct
+/// and Efficient Work-Stealing for Weak Memory Models" (Lê et al., PPoPP'13):
+/// ThreadSanitizer models atomic operations precisely but standalone fences
+/// only approximately, and the Tsan gate over SchedulerTest is part of this
+/// code's contract. The cost is a few extra ordered operations on a path
+/// that executes once per work item, not per state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_SCHED_CHASELEV_H
+#define CLOSER_SCHED_CHASELEV_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace closer {
+namespace sched {
+
+template <typename T> class ChaseLevDeque {
+public:
+  enum class Steal {
+    Stolen, ///< Out holds the element.
+    Empty,  ///< Nothing to steal.
+    Lost,   ///< Lost a race with the owner or another thief; retrying is
+            ///< reasonable (the deque may still be non-empty).
+  };
+
+  explicit ChaseLevDeque(size_t LogInitialCapacity = 6) {
+    Buf.store(newBuffer(LogInitialCapacity), std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque &) = delete;
+  ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
+
+  ~ChaseLevDeque() {
+    for (std::unique_ptr<Buffer> &B : Retired)
+      B.reset();
+    delete Buf.load(std::memory_order_relaxed);
+  }
+
+  /// Owner only: push one element at the bottom.
+  void push(T *V) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t T_ = Top.load(std::memory_order_seq_cst);
+    Buffer *A = Buf.load(std::memory_order_relaxed);
+    if (B - T_ >= A->capacity())
+      A = grow(A, T_, B);
+    A->put(B, V);
+    Bottom.store(B + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: pop the most recently pushed element. Returns nullptr when
+  /// the deque is empty (or the last element was lost to a thief).
+  T *pop() {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Buffer *A = Buf.load(std::memory_order_relaxed);
+    Bottom.store(B, std::memory_order_seq_cst);
+    int64_t T_ = Top.load(std::memory_order_seq_cst);
+    if (T_ > B) {
+      // Already empty: restore Bottom.
+      Bottom.store(B + 1, std::memory_order_seq_cst);
+      return nullptr;
+    }
+    T *V = A->get(B);
+    if (T_ == B) {
+      // Exactly one element left: race thieves for it via Top.
+      if (!Top.compare_exchange_strong(T_, T_ + 1, std::memory_order_seq_cst,
+                                       std::memory_order_seq_cst))
+        V = nullptr; // A thief won.
+      Bottom.store(B + 1, std::memory_order_seq_cst);
+    }
+    return V;
+  }
+
+  /// Thief: try to steal the oldest element.
+  Steal steal(T *&Out) {
+    Out = nullptr;
+    int64_t T_ = Top.load(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_seq_cst);
+    if (T_ >= B)
+      return Steal::Empty;
+    Buffer *A = Buf.load(std::memory_order_seq_cst);
+    T *V = A->get(T_);
+    if (!Top.compare_exchange_strong(T_, T_ + 1, std::memory_order_seq_cst,
+                                     std::memory_order_seq_cst))
+      return Steal::Lost;
+    Out = V;
+    return Steal::Stolen;
+  }
+
+  /// Racy size hint — callers use it only to decide whether scanning or
+  /// donating is worth attempting; correctness never depends on it.
+  int64_t sizeHint() const {
+    int64_t B = Bottom.load(std::memory_order_seq_cst);
+    int64_t T_ = Top.load(std::memory_order_seq_cst);
+    return B > T_ ? B - T_ : 0;
+  }
+
+  bool emptyHint() const { return sizeHint() == 0; }
+
+private:
+  struct Buffer {
+    explicit Buffer(size_t LogCap)
+        : LogCap(LogCap), Slots(size_t{1} << LogCap) {}
+    int64_t capacity() const { return int64_t{1} << LogCap; }
+    T *get(int64_t I) const {
+      return Slots[static_cast<size_t>(I) & (Slots.size() - 1)].load(
+          std::memory_order_relaxed);
+    }
+    void put(int64_t I, T *V) {
+      Slots[static_cast<size_t>(I) & (Slots.size() - 1)].store(
+          V, std::memory_order_relaxed);
+    }
+    size_t LogCap;
+    std::vector<std::atomic<T *>> Slots;
+  };
+
+  static Buffer *newBuffer(size_t LogCap) { return new Buffer(LogCap); }
+
+  Buffer *grow(Buffer *Old, int64_t T_, int64_t B) {
+    Buffer *New = newBuffer(Old->LogCap + 1);
+    for (int64_t I = T_; I < B; ++I)
+      New->put(I, Old->get(I));
+    Buf.store(New, std::memory_order_seq_cst);
+    Retired.emplace_back(Old); // Keep alive for stale thieves.
+    return New;
+  }
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Buffer *> Buf{nullptr};
+  std::vector<std::unique_ptr<Buffer>> Retired; ///< Owner-only.
+};
+
+} // namespace sched
+} // namespace closer
+
+#endif // CLOSER_SCHED_CHASELEV_H

@@ -1,0 +1,101 @@
+//===- ParkingLot.cpp - Wait-node parking with targeted wakeups ------------===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ParkingLot.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace closer;
+using namespace closer::sched;
+
+ParkingLot::ParkingLot(int NumWorkers) {
+  Nodes.reserve(static_cast<size_t>(NumWorkers));
+  for (int W = 0; W != NumWorkers; ++W)
+    Nodes.push_back(std::make_unique<WaitNode>());
+  IdleList.reserve(static_cast<size_t>(NumWorkers));
+}
+
+void ParkingLot::beginPark(int W) {
+  WaitNode &N = *Nodes[static_cast<size_t>(W)];
+  // The node is quiescent here: any previous park cycle either consumed its
+  // wakeup in completePark or waited for the winner store in cancelPark.
+  N.Winner.store(NoWinner, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(LotM);
+  assert(!N.InList && "beginPark while already parked");
+  N.InList = true;
+  IdleList.push_back(W);
+  Idle.store(static_cast<int>(IdleList.size()), std::memory_order_relaxed);
+}
+
+bool ParkingLot::cancelPark(int W) {
+  WaitNode &N = *Nodes[static_cast<size_t>(W)];
+  {
+    std::lock_guard<std::mutex> Lock(LotM);
+    if (N.InList) {
+      // Clean cancel: nobody popped us, so nobody can deliver to this node.
+      N.InList = false;
+      IdleList.erase(std::find(IdleList.begin(), IdleList.end(), W));
+      Idle.store(static_cast<int>(IdleList.size()),
+                 std::memory_order_relaxed);
+      return false;
+    }
+  }
+  // An unparker popped our node and is committed to storing a winner. Wait
+  // for that store so the node is quiescent before the next beginPark —
+  // otherwise a delayed winner store could leak into a later park cycle and
+  // wake it spuriously. The wait is bounded: the unparker is between its
+  // pop and its notify, a handful of instructions.
+  std::unique_lock<std::mutex> Lock(N.M);
+  N.CV.wait(Lock, [&N] {
+    return N.Winner.load(std::memory_order_relaxed) != NoWinner;
+  });
+  return true;
+}
+
+int ParkingLot::completePark(int W) {
+  WaitNode &N = *Nodes[static_cast<size_t>(W)];
+  std::unique_lock<std::mutex> Lock(N.M);
+  N.CV.wait(Lock, [&N] {
+    return N.Winner.load(std::memory_order_relaxed) != NoWinner;
+  });
+  return N.Winner.load(std::memory_order_relaxed);
+}
+
+int ParkingLot::unparkOne(int Token) {
+  assert(Token >= 0 && "tokens must be non-negative");
+  int W;
+  {
+    std::lock_guard<std::mutex> Lock(LotM);
+    if (IdleList.empty())
+      return -1;
+    W = IdleList.back();
+    IdleList.pop_back();
+    Nodes[static_cast<size_t>(W)]->InList = false;
+    Idle.store(static_cast<int>(IdleList.size()), std::memory_order_relaxed);
+  }
+  WaitNode &N = *Nodes[static_cast<size_t>(W)];
+  {
+    // The winner claim: we popped the node, so we are the only party that
+    // may deliver to it. The CAS from NoWinner asserts exactly that.
+    std::lock_guard<std::mutex> Lock(N.M);
+    int Expected = NoWinner;
+    bool Claimed = N.Winner.compare_exchange_strong(
+        Expected, Token, std::memory_order_seq_cst);
+    assert(Claimed && "wait node claimed twice");
+    (void)Claimed;
+  }
+  N.CV.notify_one();
+  return W;
+}
+
+int ParkingLot::unparkAll(int Token) {
+  int Woken = 0;
+  while (unparkOne(Token) >= 0)
+    ++Woken;
+  return Woken;
+}

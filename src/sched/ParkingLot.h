@@ -1,0 +1,111 @@
+//===- ParkingLot.h - Wait-node parking with targeted wakeups --*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parking lot for idle workers, built on per-worker wait nodes with a
+/// winner flag (the classic select/wakeup pattern: each blocked party owns
+/// a node; whoever claims the node's winner flag first delivers exactly one
+/// wakeup there). Replaces condition-variable broadcasts: an unpark wakes
+/// exactly the one worker it popped from the idle list — O(1) wakeups, no
+/// thundering herd, and the waker knows *which* worker it woke.
+///
+/// Protocol (the order is load-bearing; see Scheduler.h for the matching
+/// producer side):
+///
+///   worker:  beginPark(W)        — reset winner, enqueue node (idle list)
+///            ... recheck for work ...
+///            cancelPark(W)       — found some: leave the lot. If an
+///                                  unparker already popped our node, wait
+///                                  for its (imminent) winner store so the
+///                                  node is quiescent before reuse.
+///            completePark(W)     — found none: block until a winner claim.
+///
+///   waker:   unparkOne(Token)    — pop one node from the idle list, claim
+///                                  its winner flag, notify that node only.
+///
+/// Exactly-once: a node is popped from the idle list at most once per
+/// beginPark (list membership is mutex-guarded), and the winner flag is
+/// claimed by a compare-and-swap from the empty state, so each parked
+/// worker receives exactly one wakeup and each successful unparkOne wakes
+/// exactly one worker.
+///
+/// The idle list is mutex-protected: parking is the cold path (the worker
+/// is about to sleep), so a lock there costs nothing, while the hot-path
+/// signal donors poll — idleHint() — stays a single relaxed load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_SCHED_PARKINGLOT_H
+#define CLOSER_SCHED_PARKINGLOT_H
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace closer {
+namespace sched {
+
+class ParkingLot {
+public:
+  /// Winner-flag value while no wakeup has been delivered. Tokens passed to
+  /// unparkOne/unparkAll must be >= 0.
+  static constexpr int NoWinner = -1;
+
+  explicit ParkingLot(int NumWorkers);
+
+  /// Worker \p W announces it is about to sleep: resets its winner flag and
+  /// enqueues its wait node on the idle list. Must be followed by a recheck
+  /// for work and then exactly one of cancelPark()/completePark().
+  void beginPark(int W);
+
+  /// Worker \p W aborts the park (its recheck found work). Returns true
+  /// when an unparker had already popped the node — the wakeup token is
+  /// consumed here (the worker is awake and about to process work, which
+  /// is what the token asked for).
+  bool cancelPark(int W);
+
+  /// Worker \p W blocks until a winner claim arrives; returns the token.
+  int completePark(int W);
+
+  /// Wakes exactly one parked worker with \p Token (>= 0). Returns the
+  /// woken worker's index, or -1 when nobody was parked.
+  int unparkOne(int Token);
+
+  /// Drains the idle list with targeted unparks (a loop of unparkOne, not
+  /// a broadcast). Returns the number of workers woken.
+  int unparkAll(int Token);
+
+  /// Racy count of currently parked workers: the donation-throttle hint
+  /// busy workers poll every backtrack. A stale read only delays or adds a
+  /// donation; it never affects which states get explored.
+  int idleHint() const { return Idle.load(std::memory_order_relaxed); }
+
+private:
+  struct WaitNode {
+    std::mutex M;
+    std::condition_variable CV;
+    /// NoWinner until a wakeup is delivered; then the waker's token.
+    /// Written under M (so completePark's wait predicate is race-free) but
+    /// atomic as well, so the claim itself is an explicit CAS from
+    /// NoWinner — the exactly-once handoff the pattern is named for.
+    std::atomic<int> Winner{NoWinner};
+    /// Guarded by the lot mutex: present on the idle list?
+    bool InList = false;
+  };
+
+  std::mutex LotM;                 ///< Guards IdleList and InList flags.
+  std::vector<int> IdleList;       ///< Parked worker indices (LIFO).
+  std::vector<std::unique_ptr<WaitNode>> Nodes;
+  std::atomic<int> Idle{0};        ///< == IdleList.size(), relaxed mirror.
+};
+
+} // namespace sched
+} // namespace closer
+
+#endif // CLOSER_SCHED_PARKINGLOT_H

@@ -1,0 +1,259 @@
+//===- Scheduler.h - Work-stealing scheduler for subtree parcels -*- C++ -*-===//
+//
+// Part of the closer project: a reproduction of "Automatically Closing Open
+// Reactive Programs" (Colby, Godefroid, Jagadeesan, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exploration scheduler: per-worker Chase–Lev deques plus a wait-node
+/// parking lot. Replaces the single mutex-protected work queue with
+/// condition-variable broadcasts that every worker used to funnel through.
+///
+///  * Each worker owns a lock-free deque (ChaseLev.h). It pushes donations
+///    and pops its next parcel at the bottom without synchronization; idle
+///    workers steal from other deques' tops with one CAS.
+///  * An idle worker parks on its wait node (ParkingLot.h). A donor wakes
+///    exactly one parked worker per donation — a targeted O(1) unpark, not
+///    a broadcast.
+///  * Donation throttling is demand-driven: wantDonation() is true only
+///    while more workers are parked than unclaimed parcels are queued
+///    (two relaxed loads). This replaces the old fixed DonateBackoff
+///    counter: a donor sheds work exactly while somebody is starving and
+///    stops the moment the queues cover the sleepers, with no tuning knob.
+///  * Termination detection counts live parcels, not idle workers: Live is
+///    incremented per seed/donation and decremented when a worker finishes
+///    processing a parcel (not when it pops one — a parcel being processed
+///    can still donate children). Live == 0 therefore means no parcel is
+///    queued anywhere *and* none is being processed, which is exactly
+///    "the tree is exhausted". The old all-workers-idle-on-empty-queue
+///    rule needed the queue and the idle count under one lock to be sound;
+///    the parcel count stays sound with no lock at all, and in particular
+///    cannot mistake "worker still expanding (and about to donate)" for
+///    quiescence.
+///
+/// Missed-wakeup freedom: a donor pushes its parcel *before* it calls
+/// unparkOne, and a worker enqueues its wait node *before* it rechecks the
+/// deques (next() below). Both the idle list and node membership are
+/// guarded by the lot mutex, so for any donor/parker pair one of the two
+/// critical sections comes first: either the donor's unpark sees the
+/// parked node (targeted wakeup), or the parker's recheck happens after
+/// the donor's push (mutex ordering makes the push visible) and cancels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLOSER_SCHED_SCHEDULER_H
+#define CLOSER_SCHED_SCHEDULER_H
+
+#include "sched/ChaseLev.h"
+#include "sched/ParkingLot.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace closer {
+namespace sched {
+
+/// Per-worker scheduler traffic, written only by the owning worker thread
+/// and read after the workers have joined.
+struct WorkerCounters {
+  uint64_t Steals = 0;    ///< Parcels obtained from another worker's deque.
+  uint64_t Wakeups = 0;   ///< Targeted wakeups received while parked.
+  uint64_t Donations = 0; ///< Parcels this worker published.
+  uint64_t Parks = 0;     ///< Times this worker went to sleep.
+};
+
+/// Work-stealing scheduler over value-type work items. One instance per
+/// parallel run; worker threads are identified by their index [0, N).
+/// Items are seeded single-threadedly before the workers start, then flow
+/// only through donate()/next().
+template <typename Item> class Scheduler {
+public:
+  explicit Scheduler(int NumWorkers)
+      : Lot(NumWorkers), N(NumWorkers) {
+    Workers.reserve(static_cast<size_t>(NumWorkers));
+    for (int W = 0; W != NumWorkers; ++W)
+      Workers.push_back(std::make_unique<PerWorker>());
+  }
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  ~Scheduler() {
+    for (std::unique_ptr<PerWorker> &Wk : Workers)
+      while (Item *P = Wk->Deque.pop())
+        delete P;
+  }
+
+  int numWorkers() const { return N; }
+
+  /// Pre-run seeding (single-threaded, before any worker thread starts):
+  /// place \p I on worker \p W's deque.
+  void seed(int W, Item I) {
+    Live.fetch_add(1, std::memory_order_seq_cst);
+    Unclaimed.fetch_add(1, std::memory_order_relaxed);
+    Workers[static_cast<size_t>(W)]->Deque.push(new Item(std::move(I)));
+  }
+
+  /// Busy worker \p W publishes a parcel and wakes exactly one sleeper.
+  /// The push precedes the unpark — the ordering the missed-wakeup proof
+  /// above depends on.
+  void donate(int W, Item I) {
+    PerWorker &Me = *Workers[static_cast<size_t>(W)];
+    Live.fetch_add(1, std::memory_order_seq_cst);
+    Unclaimed.fetch_add(1, std::memory_order_relaxed);
+    Me.Deque.push(new Item(std::move(I)));
+    ++Me.Ctr.Donations;
+    Lot.unparkOne(TokenWork);
+  }
+
+  /// Cheap hint polled by busy workers every backtrack: donate only while
+  /// more workers are parked than parcels are queued. Stale reads merely
+  /// add or delay a donation; they never affect which states get explored.
+  bool wantDonation() const {
+    return Lot.idleHint() > Unclaimed.load(std::memory_order_relaxed);
+  }
+
+  /// Worker \p W's main claim loop: pops its own deque, then sweeps the
+  /// other deques stealing, then parks. Returns false when the run is over
+  /// (stop requested, or every parcel fully processed). Every true return
+  /// must be matched by a finishItem() call after the parcel's subtree is
+  /// exhausted (or abandoned on stop).
+  bool next(int W, Item &Out) {
+    PerWorker &Me = *Workers[static_cast<size_t>(W)];
+    for (;;) {
+      if (Stop.load(std::memory_order_seq_cst) ||
+          Drained.load(std::memory_order_seq_cst))
+        return false;
+      if (Live.load(std::memory_order_seq_cst) == 0) {
+        declareDrained();
+        return false;
+      }
+      if (Item *P = Me.Deque.pop()) {
+        claim(P, Out);
+        return true;
+      }
+      if (trySteal(W, Out))
+        return true;
+      // Going idle: enqueue the wait node first, *then* recheck (see the
+      // missed-wakeup note in the file comment).
+      Lot.beginPark(W);
+      if (Stop.load(std::memory_order_seq_cst) ||
+          Drained.load(std::memory_order_seq_cst) ||
+          Live.load(std::memory_order_seq_cst) == 0 || anyQueued()) {
+        if (Lot.cancelPark(W))
+          ++Me.Ctr.Wakeups; // Raced an unpark; its token is consumed here.
+        continue;
+      }
+      ++Me.Ctr.Parks;
+      (void)Lot.completePark(W);
+      ++Me.Ctr.Wakeups;
+    }
+  }
+
+  /// The parcel claimed by the last next() has been fully processed (its
+  /// subtree exhausted, or abandoned under a stop). The worker that retires
+  /// the last live parcel declares the run drained and wakes everyone.
+  void finishItem() {
+    if (Live.fetch_sub(1, std::memory_order_seq_cst) == 1)
+      declareDrained();
+  }
+
+  /// Cooperative stop: wake every parked worker (targeted unparks; the
+  /// workers observe Stop and exit). Idempotent.
+  void requestStop() {
+    Stop.store(true, std::memory_order_seq_cst);
+    Lot.unparkAll(TokenStop);
+  }
+
+  bool stopRequested() const {
+    return Stop.load(std::memory_order_acquire);
+  }
+
+  /// Racy queued-parcel count for the progress monitor.
+  size_t queuedHint() const {
+    int64_t U = Unclaimed.load(std::memory_order_relaxed);
+    return U > 0 ? static_cast<size_t>(U) : 0;
+  }
+
+  /// After the worker threads have joined: the parcels nobody claimed —
+  /// the unexplored subtrees an interrupted run leaves behind.
+  std::vector<Item> drainRemaining() {
+    std::vector<Item> Out;
+    for (std::unique_ptr<PerWorker> &Wk : Workers)
+      while (Item *P = Wk->Deque.pop()) {
+        Out.push_back(std::move(*P));
+        delete P;
+      }
+    return Out;
+  }
+
+  /// Post-join counter access.
+  const WorkerCounters &counters(int W) const {
+    return Workers[static_cast<size_t>(W)]->Ctr;
+  }
+
+private:
+  enum Token { TokenWork = 0, TokenStop = 1, TokenDrained = 2 };
+
+  struct alignas(64) PerWorker {
+    ChaseLevDeque<Item> Deque;
+    WorkerCounters Ctr;
+  };
+
+  void claim(Item *P, Item &Out) {
+    Unclaimed.fetch_sub(1, std::memory_order_relaxed);
+    Out = std::move(*P);
+    delete P;
+  }
+
+  bool trySteal(int W, Item &Out) {
+    for (int D = 1; D < N; ++D) {
+      PerWorker &Victim = *Workers[static_cast<size_t>((W + D) % N)];
+      for (;;) {
+        Item *P = nullptr;
+        typename ChaseLevDeque<Item>::Steal R = Victim.Deque.steal(P);
+        if (R == ChaseLevDeque<Item>::Steal::Stolen) {
+          ++Workers[static_cast<size_t>(W)]->Ctr.Steals;
+          claim(P, Out);
+          return true;
+        }
+        if (R == ChaseLevDeque<Item>::Steal::Empty)
+          break;
+        // Lost a race; the victim may still hold parcels — retry it.
+      }
+    }
+    return false;
+  }
+
+  bool anyQueued() const {
+    for (const std::unique_ptr<PerWorker> &Wk : Workers)
+      if (!Wk->Deque.emptyHint())
+        return true;
+    return false;
+  }
+
+  void declareDrained() {
+    Drained.store(true, std::memory_order_seq_cst);
+    Lot.unparkAll(TokenDrained);
+  }
+
+  ParkingLot Lot;
+  const int N;
+  std::vector<std::unique_ptr<PerWorker>> Workers;
+  /// Parcels seeded or donated and not yet fully processed. The termination
+  /// signal: 0 means queues empty and nobody mid-parcel.
+  std::atomic<int64_t> Live{0};
+  /// Parcels queued and not yet claimed — the donation-throttle hint.
+  std::atomic<int64_t> Unclaimed{0};
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Drained{false};
+};
+
+} // namespace sched
+} // namespace closer
+
+#endif // CLOSER_SCHED_SCHEDULER_H

@@ -28,6 +28,7 @@
 #include <sstream>
 #include <string>
 #include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -60,6 +61,10 @@ TEST(ObservabilityTest, StatsJsonFieldForField) {
   S.CacheInserts = 71;
   S.CacheSaturated = 73;
   S.ReportsDropped = 53;
+  S.Steals = 79;
+  S.Wakeups = 83;
+  S.ArenaBytes = 89;
+  S.PoolFresh = 97;
   S.VisibleOpsCovered = 59;
   S.VisibleOpsTotal = 61;
   S.Completed = true;
@@ -88,6 +93,10 @@ TEST(ObservabilityTest, StatsJsonFieldForField) {
   field("\"cache_inserts\": 71");
   field("\"cache_saturated\": 73");
   field("\"reports_dropped\": 53");
+  field("\"steals\": 79");
+  field("\"wakeups\": 83");
+  field("\"arena_bytes\": 89");
+  field("\"pool_fresh\": 97");
   field("\"visible_ops_covered\": 59");
   field("\"visible_ops_total\": 61");
   field("\"completed\": true");
@@ -305,6 +314,43 @@ TEST(ObservabilityTest, TimeBudgetStopsWithResumablePrefixes) {
   // Each printed prefix must also appear in the artifact's resume array.
   EXPECT_NE(Artifact.find("\"" + Prefixes.front() + "\""),
             std::string::npos);
+}
+
+TEST(ObservabilityTest, JobsZeroResolvesToHardwareConcurrency) {
+  std::string Src = tempPath("_jobs0.mc");
+  std::string Json = tempPath("_jobs0.json");
+  writeFile(Src, bigWorkload(2, 1));
+
+  int Exit = -1;
+  std::string Cmd = std::string(CLOSER_BIN) + " explore " + Src +
+                    " --open --depth 60 --jobs 0 --stats-json " + Json +
+                    " 2>/dev/null";
+  runCommand(Cmd, &Exit);
+  std::remove(Src.c_str());
+  EXPECT_EQ(Exit, 0);
+
+  // The artifact reports the *resolved* worker count, never the literal 0:
+  // that is the contract that makes `--jobs 0` runs reproducible.
+  std::string Artifact = readAll(Json);
+  std::remove(Json.c_str());
+  EXPECT_EQ(Artifact.find("\"jobs\": 0"), std::string::npos) << Artifact;
+  unsigned HW = std::thread::hardware_concurrency();
+  std::string Want = "\"jobs\": " + std::to_string(HW ? HW : 1);
+  EXPECT_NE(Artifact.find(Want), std::string::npos)
+      << "expected " << Want << " in " << Artifact;
+}
+
+TEST(ObservabilityTest, NegativeJobsIsRejected) {
+  std::string Src = tempPath("_jobsneg.mc");
+  writeFile(Src, bigWorkload(2, 1));
+
+  int Exit = -1;
+  std::string Cmd = std::string(CLOSER_BIN) + " explore " + Src +
+                    " --open --depth 60 --jobs -2 2>&1";
+  std::string Out = runCommand(Cmd, &Exit);
+  std::remove(Src.c_str());
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Out.find("--jobs"), std::string::npos) << Out;
 }
 
 TEST(ObservabilityTest, StatsJsonOnCompletedRunReportsCompletion) {

@@ -315,7 +315,9 @@ TEST(SearchOptionsValidateTest, RejectsWrappedNegativeValues) {
   EXPECT_EQ(errorCount(Zero.validate()), 1u);
 
   SearchOptions Jobs;
-  Jobs.Jobs = 0;
+  Jobs.Jobs = 0; // Auto: one worker per hardware thread — valid.
+  EXPECT_EQ(errorCount(Jobs.validate()), 0u);
+  Jobs.Jobs = static_cast<size_t>(-2); // A CLI `--jobs -2`, wrapped.
   EXPECT_EQ(errorCount(Jobs.validate()), 1u);
 
   SearchOptions Ckpt;

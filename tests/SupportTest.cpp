@@ -5,13 +5,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Arena.h"
 #include "support/Diagnostics.h"
 #include "support/Random.h"
 #include "support/SourceLoc.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <string>
 
 using namespace closer;
 
@@ -91,6 +94,104 @@ TEST(RngTest, ChanceIsroughlyCalibrated) {
     Hits += R.chance(1, 4);
   EXPECT_GT(Hits, 2000);
   EXPECT_LT(Hits, 3000);
+}
+
+TEST(ArenaTest, BumpAllocationAndGeometricGrowth) {
+  support::Arena A(64);
+  EXPECT_EQ(A.bytesFromUpstream(), 0u);
+  void *P1 = A.allocate(16, 8);
+  ASSERT_NE(P1, nullptr);
+  uint64_t AfterFirst = A.bytesFromUpstream();
+  EXPECT_GE(AfterFirst, 64u);
+  // Fits in the first block: no new upstream traffic.
+  void *P2 = A.allocate(16, 8);
+  EXPECT_NE(P1, P2);
+  EXPECT_EQ(A.bytesFromUpstream(), AfterFirst);
+  // Outgrows it: a new (geometrically larger) block is fetched.
+  A.allocate(512, 8);
+  EXPECT_GT(A.bytesFromUpstream(), AfterFirst);
+  EXPECT_GE(A.blocksFromUpstream(), 2u);
+}
+
+TEST(ArenaTest, AlignmentIsHonored) {
+  support::Arena A(128);
+  A.allocate(1, 1); // Skew the bump pointer.
+  for (size_t Align : {size_t{2}, size_t{8}, size_t{16}, size_t{64}}) {
+    void *P = A.allocate(8, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u)
+        << "alignment " << Align;
+  }
+}
+
+TEST(ArenaTest, ResetReusesBlocksWithoutUpstreamTraffic) {
+  support::Arena A(256);
+  for (int I = 0; I != 8; ++I)
+    A.allocate(64, 8);
+  uint64_t Peak = A.bytesFromUpstream();
+  // Steady state: reset + same workload touches the heap zero times.
+  for (int Round = 0; Round != 10; ++Round) {
+    A.reset();
+    for (int I = 0; I != 8; ++I)
+      A.allocate(64, 8);
+    EXPECT_EQ(A.bytesFromUpstream(), Peak) << "round " << Round;
+  }
+}
+
+TEST(ArenaTest, PmrVectorRunsOnArena) {
+  support::Arena A(4096);
+  std::pmr::vector<uint64_t> V(&A);
+  V.resize(100, 7);
+  EXPECT_GT(A.bytesFromUpstream(), 0u);
+  EXPECT_EQ(V[99], 7u);
+  // Copy construction does NOT propagate the arena resource: a persistent
+  // copy of arena scratch lands on the default (heap) resource — the
+  // property Footprints.h's persistent-copy pattern depends on.
+  std::pmr::vector<uint64_t> Copy(V);
+  EXPECT_EQ(Copy.get_allocator().resource(),
+            std::pmr::get_default_resource());
+}
+
+TEST(ObjectPoolTest, RecyclesAndCountsFresh) {
+  support::ObjectPool<std::string> Pool;
+  EXPECT_EQ(Pool.fresh(), 0u);
+  std::string S = Pool.acquire();
+  EXPECT_EQ(Pool.fresh(), 1u);
+  S = "payload";
+  Pool.release(std::move(S));
+  EXPECT_EQ(Pool.idle(), 1u);
+  // A pool hit: no fresh construction.
+  std::string T = Pool.acquire();
+  EXPECT_EQ(Pool.fresh(), 1u);
+  EXPECT_EQ(Pool.idle(), 0u);
+}
+
+TEST(VectorPoolTest, AcquireClearsButKeepsCapacity) {
+  support::VectorPool<int> Pool;
+  std::vector<int> V = Pool.acquire();
+  EXPECT_EQ(Pool.fresh(), 1u);
+  V.assign(1000, 42);
+  Pool.release(std::move(V));
+  std::vector<int> W = Pool.acquire();
+  EXPECT_EQ(Pool.fresh(), 1u) << "recycled, not fresh";
+  EXPECT_TRUE(W.empty()) << "acquire must clear recycled contents";
+  EXPECT_GE(W.capacity(), 1000u) << "capacity is the whole point";
+}
+
+TEST(VectorPoolTest, SteadyStateFreshCountIsHighWaterBounded) {
+  // The property the bench's steady-state-allocation gate builds on:
+  // fresh() tracks the maximum number of simultaneously-live vectors,
+  // not the total acquire() traffic.
+  support::VectorPool<int> Pool;
+  for (int Round = 0; Round != 100; ++Round) {
+    std::vector<std::vector<int>> Live;
+    for (int I = 0; I != 5; ++I) {
+      Live.push_back(Pool.acquire());
+      Live.back().push_back(Round + I);
+    }
+    for (std::vector<int> &V : Live)
+      Pool.release(std::move(V));
+  }
+  EXPECT_EQ(Pool.fresh(), 5u);
 }
 
 } // namespace

@@ -85,7 +85,9 @@ void usage() {
       (default), the direct-threaded bytecode VM (same results, faster),
       or `both` — a differential oracle that runs every transition on
       both engines and aborts on any observable divergence.
-      --jobs N > 1 explores disjoint subtrees on N worker threads.
+      --jobs N > 1 explores disjoint subtrees on N worker threads over
+      per-worker work-stealing deques; --jobs 0 uses one worker per
+      hardware thread (the resolved count lands in --stats-json).
       --checkpoint-interval K snapshots the system every K states so
       backtracking restores instead of re-executing prefixes (default 8;
       0 = pure stateless search). Results are identical for any K.
@@ -464,7 +466,16 @@ int cmdExplore(const Args &A) {
     Opts.UseStateHashing = true;
   }
   long Jobs = A.intOf("--jobs", 1);
-  Opts.Jobs = Jobs > 0 ? static_cast<size_t>(Jobs) : 1;
+  if (Jobs < 0) {
+    std::fprintf(stderr,
+                 "error: --jobs must be >= 1, or 0 for one worker per "
+                 "hardware thread (got %ld)\n",
+                 Jobs);
+    return 1;
+  }
+  // 0 = auto: explore() resolves it to the hardware concurrency and the
+  // resolved count is what the stats-json artifact records.
+  Opts.Jobs = static_cast<size_t>(Jobs);
   std::string Exec = A.strOf("--exec", "interp");
   if (Exec == "interp") {
     Opts.Exec = ExecMode::Interp;
